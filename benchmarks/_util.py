@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (see DESIGN.md's
+per-experiment index).  Since pytest captures stdout, each bench also
+writes its rendered table to ``benchmarks/results/<name>.txt`` so the
+paper-shaped rows survive a plain ``pytest benchmarks/ --benchmark-only``
+run; EXPERIMENTS.md records the reference numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> str:
+    """Print a rendered experiment table and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}\n")
+    return text

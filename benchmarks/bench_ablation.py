@@ -1,0 +1,90 @@
+"""E9/E10 — ablations over the paper's two tuning knobs.
+
+E9: the detour threshold ζ (Section 2 fixes ζ = n^{2/3} to balance the
+O(ζ)-round short stage against the landmark count of the long stage).
+Sweeping ζ shows the short stage's linear cost in ζ and the long
+stage's opposite trend — the crossover justifies the paper's choice.
+
+E10: the landmark density c (Definition 5.2).  Lower c risks missing
+long detours (correctness degrades from "always" toward "sometimes"),
+higher c inflates the |L|²-word broadcast.  The bench reports
+correctness rate over seeds and rounds per c.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines import replacement_lengths
+from repro.core.rpaths import default_zeta, solve_rpaths
+from repro.graphs import path_with_chords_instance
+
+from _util import report
+
+
+def bench_zeta_ablation(benchmark):
+    instance = path_with_chords_instance(96, seed=2, overlay_hub=True)
+    truth = replacement_lengths(instance)
+    zetas = [4, 8, 16, default_zeta(instance.n), 64]
+
+    def run():
+        rows = []
+        for zeta in sorted(set(zetas)):
+            rep = solve_rpaths(instance, zeta=zeta, seed=1,
+                               landmark_c=3.0)
+            rows.append([
+                zeta,
+                rep.phase_rounds("short-detour(P4.1)"),
+                rep.phase_rounds("long-detour(P5.1)"),
+                rep.rounds,
+                str(rep.lengths == truth),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablation_zeta", format_table(
+        ["zeta", "short rounds", "long rounds", "total", "exact"],
+        rows,
+        title=(f"E9 — threshold ablation on {instance.name} "
+               f"(n={instance.n}, default zeta="
+               f"{default_zeta(instance.n)})")))
+    # Short stage cost is ~2ζ: strictly increasing in ζ.
+    shorts = [row[1] for row in rows]
+    assert shorts == sorted(shorts)
+    assert all(row[4] == "True" for row in rows)
+
+
+def bench_landmark_density_ablation(benchmark):
+    instance = path_with_chords_instance(64, seed=4, overlay_hub=True)
+    truth = replacement_lengths(instance)
+    cs = [0.25, 1.0, 2.0, 4.0]
+    seeds = [0, 1, 2]
+
+    def run():
+        rows = []
+        for c in cs:
+            exact = 0
+            total_rounds = 0
+            landmark_counts = []
+            for seed in seeds:
+                rep = solve_rpaths(instance, seed=seed, landmark_c=c)
+                exact += rep.lengths == truth
+                total_rounds += rep.rounds
+                landmark_counts.append(rep.landmark_count)
+            rows.append([
+                c,
+                f"{sum(landmark_counts) / len(seeds):.1f}",
+                f"{exact}/{len(seeds)}",
+                total_rounds // len(seeds),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablation_landmarks", format_table(
+        ["c", "avg |L|", "exact runs", "avg rounds"],
+        rows,
+        title=(f"E10 — landmark density ablation on {instance.name}: "
+               "Definition 5.2 rate c·log(n)/zeta")))
+    # At the paper's c ≥ 2 the algorithm must be exact on all seeds.
+    for row in rows:
+        if row[0] >= 2.0:
+            assert row[2] == f"{len(seeds)}/{len(seeds)}"

@@ -1,0 +1,68 @@
+"""E8 — Theorem 3: (1+ε)-Apx-RPaths on weighted directed graphs.
+
+For each ε the bench measures the *worst* approximation ratio across
+all path edges against the exact centralized oracle (must stay ≤ 1+ε)
+and the rounds used.  The h_st-flavoured weighted family exercises both
+the rounding short-detour machinery (Section 7.1/7.2) and the scaled
+landmark long-detour stage (Section 7.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import approx_quality, format_table
+from repro.graphs import path_with_chords_instance, random_instance
+
+from _util import report
+
+EPSILONS = [0.5, 0.25, 0.1]
+
+CASES = [
+    ("random-weighted", lambda: random_instance(
+        48, seed=1, weighted=True, max_weight=12)),
+    ("chords-weighted", lambda: path_with_chords_instance(
+        24, seed=2, weighted=True, overlay_hub=True)),
+]
+
+_rows = []
+
+
+@pytest.mark.parametrize("case_idx", range(len(CASES)))
+def bench_approx_quality(benchmark, case_idx):
+    family, builder = CASES[case_idx]
+    instance = builder()
+
+    def run():
+        return approx_quality(instance, EPSILONS, seed=case_idx,
+                              landmarks=list(range(instance.n)))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for eps, worst, rounds in rows:
+        assert worst <= 1 + eps + 1e-9, (family, eps, worst)
+        _rows.append([family, instance.n, instance.hop_count,
+                      eps, f"{worst:.4f}", f"{1 + eps:.2f}", rounds])
+    if case_idx == len(CASES) - 1:
+        report("approx", format_table(
+            ["family", "n", "h_st", "eps", "worst ratio",
+             "bound", "rounds"],
+            _rows,
+            title=("E8/Theorem 3 — measured (1+eps) sandwich on "
+                   "weighted instances")))
+
+
+def bench_approx_rounds_epsilon_tradeoff(benchmark):
+    """Rounds grow as ε shrinks (the ζ(1+2/ε) hop budget)."""
+    instance = random_instance(40, seed=5, weighted=True)
+
+    def run():
+        return approx_quality(instance, EPSILONS, seed=0,
+                              landmarks=[0, 7, 19, 31])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rounds = [r for _, _, r in rows]
+    report("approx_tradeoff", format_table(
+        ["eps", "rounds"],
+        [[eps, r] for (eps, _, r) in rows],
+        title="E8 — rounds vs eps (hop budget ~ zeta*(1+2/eps))"))
+    assert rounds[0] < rounds[-1]  # ε = 0.5 cheaper than ε = 0.1

@@ -1,0 +1,168 @@
+"""E4–E7 — the Section 6 lower-bound artifacts, executable.
+
+* E4 (Figure 1 / Observation 6.3): G(Γ, d, p) vertex counts and
+  diameters.
+* E5 (Figure 2 / Observation 6.6 / Lemma 6.8): G(k, d, p, φ, M, x)
+  structure and the replacement-length ↔ (M, x) dichotomy over random
+  inputs.
+* E6 (Proposition 6.1 / Lemma 6.9): set disjointness decided end-to-end
+  by the distributed 2-SiSP solver, with Alice/Bob cut-traffic
+  measurement against the k² payload.
+* E7 (Theorem 2, Ω(D) part): solver rounds grow with D on the
+  two-parallel-paths construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import format_table
+from repro.core import solve_two_sisp
+from repro.lowerbound import (
+    bipartite_cut,
+    build_diameter_instance,
+    build_gamma_graph,
+    build_hard_instance,
+    decide_disjointness_via_two_sisp,
+    expected_optimal_length,
+    expected_two_sisp,
+    measure_cut_traffic,
+    undirected_diameter,
+    verify_correspondence,
+)
+
+from _util import report
+
+
+def bench_gamma_graph_observation63(benchmark):
+    params = [(2, 2, 2), (4, 2, 2), (2, 2, 3), (3, 3, 2), (8, 2, 3)]
+
+    def run():
+        rows = []
+        for gamma, d, p in params:
+            g = build_gamma_graph(gamma, d, p)
+            rows.append([f"G({gamma},{d},{p})", g.n,
+                         g.expected_vertex_count(),
+                         undirected_diameter(g), 2 * p + 2])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("gamma_graph", format_table(
+        ["graph", "n", "n (Obs 6.3)", "diameter", "2p+2"],
+        rows, title="E4/Figure 1 — G(Γ,d,p) structure"))
+    for row in rows:
+        assert row[1] == row[2]
+        assert row[3] <= row[4]
+
+
+def bench_lemma_6_8_correspondence(benchmark):
+    cases = [(2, 2, 1), (2, 2, 2), (3, 2, 1), (3, 2, 2)]
+
+    def run():
+        rows = []
+        rng = random.Random(42)
+        for k, d, p in cases:
+            matrix = [[rng.randint(0, 1) for _ in range(k)]
+                      for _ in range(k)]
+            x = [rng.randint(0, 1) for _ in range(k * k)]
+            hard = build_hard_instance(k, d, p, matrix, x)
+            rep = verify_correspondence(hard)
+            rows.append([
+                f"G({k},{d},{p})", hard.n,
+                hard.expected_vertex_count_order(),
+                rep.optimal_length, expected_optimal_length(k, d, p),
+                rep.hit_count, str(rep.holds),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["instance", "n", "n (Obs 6.6)", "L_opt", "3k²+2d^p+4",
+         "hits", "Lemma 6.8 holds"],
+        rows, title="E5/Figure 2 — hard instance + Lemma 6.8")
+    text += ("\nNote: the paper's prose states the constant as "
+             "3k²+2d^p+6; the edge-by-edge count (verified here "
+             "exhaustively) gives +4.  The iff-dichotomy — the part the "
+             "reduction uses — holds verbatim.")
+    report("lemma68", text)
+    assert all(row[-1] == "True" for row in rows)
+
+
+def bench_disjointness_reduction(benchmark):
+    def run():
+        rows = []
+        rng = random.Random(7)
+        for trial in range(4):
+            k = 2
+            x = [rng.randint(0, 1) for _ in range(k * k)]
+            y = [rng.randint(0, 1) for _ in range(k * k)]
+            rep = decide_disjointness_via_two_sisp(
+                x, y, k, use_oracle_knowledge=True)
+            rows.append([
+                "".join(map(str, x)), "".join(map(str, y)),
+                rep.expected, rep.decided, rep.rounds, rep.n,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("reduction", format_table(
+        ["x", "y", "disj(x,y)", "decoded", "rounds", "n"],
+        rows,
+        title=("E6/Lemma 6.9 — disjointness decided by the distributed "
+               "2-SiSP solver")))
+    assert all(row[2] == row[3] for row in rows)
+
+
+def bench_cut_traffic(benchmark):
+    hard = build_hard_instance(
+        2, 2, 1, [[1, 0], [0, 1]], [1, 1, 1, 1])
+
+    def run():
+        def algorithm(net):
+            from repro.congest.spanning_tree import build_spanning_tree
+            from repro.core.knowledge import oracle_knowledge
+            from repro.core.long_detour import long_detour_lengths
+            from repro.core.short_detour import short_detour_lengths
+            knowledge = oracle_knowledge(hard.instance)
+            tree = build_spanning_tree(net)
+            short_detour_lengths(hard.instance, net, knowledge, 4)
+            long_detour_lengths(hard.instance, net, tree, knowledge, 4,
+                                landmarks=list(range(hard.n)))
+
+        return measure_cut_traffic(hard, algorithm)
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["rounds", "crossing words", "crossing links",
+         "total words", "payload bits (k²)"],
+        [[rep.rounds, rep.crossing_words, rep.crossing_links,
+          rep.total_words, rep.payload_bits]],
+        title=("E6/simulation lemma view — words crossing the "
+               "Alice/Bob cut of G(k,d,p,φ,M,x)"))
+    text += ("\nLemma 6.4's budget: O(d^p · B) words may cross per "
+             "round; deciding the instance needs ≥ k² bits in total.")
+    report("cut_traffic", text)
+    assert rep.crossing_words >= rep.payload_bits
+
+
+def bench_omega_d(benchmark):
+    diameters = [4, 8, 16, 32]
+
+    def run():
+        rows = []
+        for diameter in diameters:
+            inst = build_diameter_instance(diameter)
+            res = solve_two_sisp(inst,
+                                 landmarks=list(range(inst.n)))
+            assert res.length == expected_two_sisp(diameter, None)
+            rows.append([diameter, inst.n, res.length, res.rounds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("omega_d", format_table(
+        ["D", "n", "2-SiSP", "rounds"],
+        rows, title="E7/Theorem 2 — Ω(D) construction: rounds grow "
+                    "with D"))
+    rounds = [row[3] for row in rows]
+    assert rounds == sorted(rounds)
+    assert rounds[-1] > rounds[0]

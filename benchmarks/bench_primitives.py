@@ -1,0 +1,64 @@
+"""E11/E12 — the toolbox lemmas' round bounds, measured.
+
+E11 (Lemma 2.4): pipelined broadcast of M messages completes in
+O(M + D) rounds.  E12 (Lemma 5.5): k-source h-hop BFS completes in
+O(k + h) rounds.  Both are measured against their stated budgets on
+graphs where M, D, k, h are swept independently.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.congest.broadcast import broadcast_messages
+from repro.congest.multisource import multi_source_hop_bfs
+from repro.congest.network import CongestNetwork
+from repro.congest.spanning_tree import build_spanning_tree
+from repro.graphs import random_instance
+
+from _util import report
+
+
+def bench_broadcast_lemma24(benchmark):
+    cases = [(20, 10), (20, 60), (60, 10), (60, 120)]
+
+    def run():
+        rows = []
+        for n, m in cases:
+            net = CongestNetwork(
+                n, [(i, i + 1) for i in range(n - 1)])
+            tree = build_spanning_tree(net)
+            before = net.rounds
+            broadcast_messages(
+                net, tree, {0: [("msg", i) for i in range(m)]})
+            used = net.rounds - before
+            diameter = n - 1
+            rows.append([n, diameter, m, used, 3 * (m + diameter)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("broadcast", format_table(
+        ["n", "D", "M", "rounds", "budget 3(M+D)"],
+        rows, title="E11/Lemma 2.4 — pipelined broadcast"))
+    for row in rows:
+        assert row[3] <= row[4]
+
+
+def bench_ksource_bfs_lemma55(benchmark):
+    cases = [(4, 4), (4, 16), (16, 4), (16, 16)]
+
+    def run():
+        instance = random_instance(150, seed=9)
+        rows = []
+        for k, h in cases:
+            net = instance.build_network()
+            sources = list(range(0, k * 7, 7))[:k]
+            multi_source_hop_bfs(net, sources, hop_limit=h)
+            rows.append([k, h, net.rounds, 4 * (k + h) + 4])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ksource", format_table(
+        ["k", "h", "rounds", "budget 4(k+h)+4"],
+        rows, title="E12/Lemma 5.5 — k-source h-hop BFS"))
+    for row in rows:
+        assert row[2] <= row[3]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: rerouting around single-link failures on an ISP-style WAN.
+
+The paper's motivating application: a primary traffic route (the s-t
+shortest path P) crosses a wide-area backbone; when any one backbone
+link fails, traffic must be rerouted, and every router on P wants to
+know its fallback distance *before* the failure happens — exactly the
+RPaths problem (Definition 2.1).
+
+The topology below is a chain of city "pods" (each pod a small ring of
+routers) threaded by a backbone path, plus a low-latency management
+overlay that keeps the communication diameter small — the regime where
+Theorem 1's Õ(n^{2/3}+D) rounds beat the trivial per-failure recompute.
+
+Run:  python examples/network_fault_tolerance.py
+"""
+
+from repro import INF, solve_rpaths
+from repro.baselines import replacement_lengths, solve_rpaths_naive
+from repro.graphs.instance import RPathsInstance
+
+
+def build_wan(pods: int = 10, pod_size: int = 4) -> RPathsInstance:
+    """A backbone path through ``pods`` rings of ``pod_size`` routers.
+
+    Backbone: b_0 → b_1 → ... → b_pods.  Each pod i hangs a ring off
+    (b_i, b_{i+1}): b_i → r_1 → ... → r_{pod_size} → b_{i+1}, giving a
+    local detour of pod_size+1 hops around each backbone link.  A
+    management hub with links *to* every router keeps D small without
+    offering any data-plane shortcut (no edges into the hub).
+    """
+    edges = []
+    backbone = list(range(pods + 1))
+    for u, v in zip(backbone, backbone[1:]):
+        edges.append((u, v))
+    n = pods + 1
+    for i in range(pods):
+        ring = list(range(n, n + pod_size))
+        n += pod_size
+        chain = [backbone[i]] + ring + [backbone[i + 1]]
+        for a, b in zip(chain, chain[1:]):
+            edges.append((a, b))
+    hub = n
+    n += 1
+    for v in range(hub):
+        edges.append((hub, v))
+    instance = RPathsInstance(
+        n=n, edges=[(u, v, 1) for u, v in edges], path=backbone,
+        weighted=False, name=f"wan(pods={pods},ring={pod_size})")
+    instance.validate()
+    return instance
+
+
+def main() -> None:
+    instance = build_wan()
+    print(f"topology: {instance.name}  n={instance.n} "
+          f"m={instance.m} h_st={instance.hop_count}")
+    diameter = instance.build_network().undirected_diameter()
+    print(f"communication diameter D = {diameter} "
+          "(management overlay keeps it tiny)")
+
+    report = solve_rpaths(instance, seed=3)
+    naive = solve_rpaths_naive(instance)
+    truth = replacement_lengths(instance)
+    assert report.lengths == truth and naive.lengths == truth
+
+    print(f"\nprecomputing ALL fallbacks:")
+    print(f"  Theorem 1 pipeline : {report.rounds:>6} rounds")
+    print(f"  per-failure re-BFS : {naive.rounds:>6} rounds "
+          "(the operational status quo)")
+
+    print("\nper-link failure report (backbone link → fallback length):")
+    base = instance.hop_count
+    for i, (u, v) in enumerate(instance.path_edges()):
+        fallback = report.lengths[i]
+        if fallback >= INF:
+            print(f"  link {u}→{v}: NO fallback — single point of failure!")
+        else:
+            stretch = fallback / base
+            print(f"  link {u}→{v}: fallback {fallback} hops "
+                  f"(stretch ×{stretch:.2f})")
+
+    worst = max(x for x in report.lengths if x < INF)
+    print(f"\nworst-case fallback: {worst} hops "
+          f"(primary route: {base} hops)")
+
+
+if __name__ == "__main__":
+    main()

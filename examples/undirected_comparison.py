@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scenario: directed vs undirected replacement paths, side by side.
+
+The paper's Table 1 landscape places unweighted *directed* RPaths at
+Θ̃(n^{2/3}+D) — strictly harder than the undirected case, which admits
+an O(T_SSSP + h_st)-round algorithm [MR24b] built on the classical
+crossing-edge structure [HS01; MMG89].  This example runs both sides of
+the divide on matched topologies:
+
+* the undirected extension (`repro.extensions`): two SSSPs + branch
+  labels + one pipelined interval aggregation;
+* the directed Theorem 1 pipeline on the symmetrized instance (any
+  undirected instance is also a directed one — the guarantees carry).
+
+Run:  python examples/undirected_comparison.py
+"""
+
+from repro.core.rpaths import solve_rpaths
+from repro.extensions import (
+    crossing_edge_replacement_lengths,
+    random_undirected_instance,
+    solve_rpaths_undirected,
+    undirected_replacement_lengths,
+)
+
+
+def main() -> None:
+    print("directed machinery vs the undirected shortcut "
+          "(same instances)\n")
+    print(f"{'instance':<26} {'h_st':>4} {'undirected rounds':>18} "
+          f"{'Thm1 rounds':>12}")
+    for seed in range(4):
+        instance = random_undirected_instance(70, seed=seed)
+        truth = undirected_replacement_lengths(instance)
+
+        undirected = solve_rpaths_undirected(instance)
+        assert undirected.lengths == truth
+
+        directed = solve_rpaths(instance, seed=seed, landmark_c=3.0)
+        assert directed.lengths == truth  # symmetric ⇒ same answers
+
+        print(f"{instance.name:<26} {instance.hop_count:>4} "
+              f"{undirected.rounds:>18} {directed.rounds:>12}")
+
+    print("\nwhy the undirected case is easier: the crossing-edge "
+          "structure.")
+    instance = random_undirected_instance(40, seed=9)
+    from repro import is_unreachable
+    lengths = ["inf" if is_unreachable(x) else x
+               for x in crossing_edge_replacement_lengths(instance)]
+    print(f"  {instance.name}: repl lengths via the [HS01] formula = "
+          f"{lengths}")
+    print("  every replacement is 'shortest-to-x + one crossing edge + "
+          "shortest-from-y' —")
+    print("  two SSSP trees suffice, no landmark machinery needed. "
+          "Directed graphs break")
+    print("  this structure, which is where the paper's Θ̃(n^{2/3}+D) "
+          "bound lives.")
+
+
+if __name__ == "__main__":
+    main()

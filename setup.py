@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim lets both routes work:
+
+* ``pip install -e .`` (tries PEP 660 first, falls back through here), or
+* ``python setup.py develop`` directly.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

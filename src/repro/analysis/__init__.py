@@ -1,0 +1,30 @@
+"""Measurement analysis: power-law fits, invariance checks, tables."""
+
+from .scaling import (
+    InvarianceStats,
+    PowerLawFit,
+    fit_power_law,
+    invariance,
+)
+from .tables import format_series, format_table
+from .experiments import (
+    AlgorithmRun,
+    approx_quality,
+    hst_sweep,
+    run_table1_cell,
+    scaling_series,
+)
+
+__all__ = [
+    "AlgorithmRun",
+    "InvarianceStats",
+    "PowerLawFit",
+    "approx_quality",
+    "fit_power_law",
+    "format_series",
+    "format_table",
+    "hst_sweep",
+    "invariance",
+    "run_table1_cell",
+    "scaling_series",
+]

@@ -1,0 +1,140 @@
+"""Experiment drivers shared by the benchmark harness and EXPERIMENTS.md.
+
+Each function reproduces one paper artifact (see DESIGN.md's
+per-experiment index) and returns plain data structures the benches
+print with :mod:`~repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.centralized import replacement_lengths
+from ..baselines.mr24 import solve_rpaths_mr24
+from ..baselines.naive_distributed import solve_rpaths_naive
+from ..congest.words import INF
+from ..core.rpaths import solve_rpaths
+from ..graphs.generators import path_with_chords_instance, random_instance
+from ..graphs.instance import RPathsInstance
+from .scaling import PowerLawFit, fit_power_law
+
+
+@dataclass
+class AlgorithmRun:
+    """One (instance, algorithm) measurement."""
+
+    algorithm: str
+    instance: str
+    n: int
+    hop_count: int
+    rounds: int
+    correct: bool
+    max_link_words: int = 0
+
+
+def _check(lengths: Sequence[int], truth: Sequence[int]) -> bool:
+    return list(lengths) == list(truth)
+
+
+def run_table1_cell(
+    instance: RPathsInstance,
+    seed: int = 0,
+    include_naive: bool = True,
+) -> List[AlgorithmRun]:
+    """One Table-1 row group: ours vs MR24b vs trivial on one instance."""
+    truth = replacement_lengths(instance)
+    runs: List[AlgorithmRun] = []
+
+    ours = solve_rpaths(instance, seed=seed)
+    runs.append(AlgorithmRun(
+        "theorem1", instance.name, instance.n, instance.hop_count,
+        ours.rounds, _check(ours.lengths, truth),
+        ours.max_link_words))
+
+    mr = solve_rpaths_mr24(instance, seed=seed)
+    runs.append(AlgorithmRun(
+        "mr24b", instance.name, instance.n, instance.hop_count,
+        mr.rounds, _check(mr.lengths, truth),
+        mr.ledger.max_link_words))
+
+    if include_naive:
+        nv = solve_rpaths_naive(instance)
+        runs.append(AlgorithmRun(
+            "trivial", instance.name, instance.n, instance.hop_count,
+            nv.rounds, _check(nv.lengths, truth),
+            nv.ledger.max_link_words))
+    return runs
+
+
+def scaling_series(
+    builder: Callable[[int, int], RPathsInstance],
+    sizes: Sequence[int],
+    seed: int = 0,
+    algorithm: str = "theorem1",
+) -> Tuple[List[int], List[int], PowerLawFit]:
+    """Rounds versus n for one algorithm on one family, plus the fit."""
+    ns: List[int] = []
+    rounds: List[int] = []
+    for size in sizes:
+        instance = builder(size, seed)
+        if algorithm == "theorem1":
+            rounds.append(solve_rpaths(instance, seed=seed).rounds)
+        elif algorithm == "mr24b":
+            rounds.append(solve_rpaths_mr24(instance, seed=seed).rounds)
+        elif algorithm == "trivial":
+            rounds.append(solve_rpaths_naive(instance).rounds)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        ns.append(instance.n)
+    return ns, rounds, fit_power_law(ns, rounds)
+
+
+def hst_sweep(
+    hops_values: Sequence[int],
+    seed: int = 0,
+    include_naive: bool = True,
+) -> Dict[str, List[AlgorithmRun]]:
+    """Fixed construction parameters, h_st swept (experiment E3).
+
+    Uses the chords family so that n grows only linearly with h_st while
+    the detour structure stays homogeneous; the quantity of interest is
+    how each algorithm's rounds scale *with h_st at comparable n* —
+    Theorem 1 should track n^{2/3}, the baselines h_st.
+    """
+    out: Dict[str, List[AlgorithmRun]] = {
+        "theorem1": [], "mr24b": []}
+    if include_naive:
+        out["trivial"] = []
+    for hops in hops_values:
+        instance = path_with_chords_instance(hops, seed=seed)
+        for runs in run_table1_cell(
+                instance, seed=seed, include_naive=include_naive):
+            out[runs.algorithm].append(runs)
+    return out
+
+
+def approx_quality(
+    instance: RPathsInstance,
+    epsilons: Sequence[float],
+    seed: int = 0,
+    landmarks: Optional[Sequence[int]] = None,
+) -> List[Tuple[float, float, int]]:
+    """(ε, worst measured ratio, rounds) triples — experiment E8."""
+    from ..approx.apx_rpaths import solve_apx_rpaths
+
+    truth = replacement_lengths(instance)
+    rows: List[Tuple[float, float, int]] = []
+    for eps in epsilons:
+        report = solve_apx_rpaths(
+            instance, epsilon=eps, seed=seed, landmarks=landmarks)
+        worst = 1.0
+        for got, want in zip(report.lengths, truth):
+            if want >= INF:
+                assert got == float("inf")
+                continue
+            ratio = got / want
+            worst = max(worst, ratio)
+        rows.append((eps, worst, report.rounds))
+    return rows

@@ -1,0 +1,75 @@
+"""Scaling analysis: exponent fits and invariance statistics.
+
+The paper's headline claims are asymptotic; at finite n we verify the
+*shape*: the measured rounds of Theorem 1 should grow like n^{2/3}
+(log-log slope ≈ 2/3 up to polylog drift) and be flat in h_st, while the
+baselines grow with h_st.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class PowerLawFit:
+    """Least-squares fit of rounds ≈ C · n^exponent on log-log axes."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    points: List[Tuple[float, float]]
+
+    def predict(self, n: float) -> float:
+        return self.coefficient * n ** self.exponent
+
+
+def fit_power_law(ns: Sequence[float],
+                  values: Sequence[float]) -> PowerLawFit:
+    """Fit values ≈ C·n^a by linear regression in log space."""
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need at least two matched samples")
+    xs = [math.log(x) for x in ns]
+    ys = [math.log(max(1e-12, y)) for y in values]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2
+                 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return PowerLawFit(
+        exponent=slope,
+        coefficient=math.exp(intercept),
+        r_squared=r2,
+        points=list(zip(ns, values)),
+    )
+
+
+@dataclass
+class InvarianceStats:
+    """How flat a series is — used for the h_st-independence claim."""
+
+    spread_ratio: float   # max / min
+    slope: float          # log-log slope against the swept parameter
+
+    @property
+    def is_flat(self) -> bool:
+        """Heuristic flatness: sub-square-root growth in the sweep."""
+        return self.slope < 0.5
+
+
+def invariance(params: Sequence[float],
+               values: Sequence[float]) -> InvarianceStats:
+    """Flatness statistics of ``values`` against a swept parameter."""
+    fit = fit_power_law(params, values)
+    return InvarianceStats(
+        spread_ratio=max(values) / max(1e-12, min(values)),
+        slope=fit.exponent,
+    )

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Benchmarks print the same row/series structure the paper reports
+(Table 1's algorithm-vs-bound landscape, scaling series, correspondence
+tallies); this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_render(x) for x in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cells[0][c].ljust(widths[c]) for c in range(len(headers)))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(
+            row[c].rjust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _render(x: object) -> str:
+    if isinstance(x, float):
+        if x != x or x in (float("inf"), float("-inf")):
+            return str(x)
+        return f"{x:.3g}" if abs(x) < 1000 else f"{x:.0f}"
+    return str(x)
+
+
+def format_series(label: str, xs: Sequence[object],
+                  ys: Sequence[object]) -> str:
+    """One-line series rendering: label: (x=y), (x=y), ..."""
+    pairs = ", ".join(f"{x}={_render(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

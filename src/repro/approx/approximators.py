@@ -1,0 +1,142 @@
+"""Lemmas 7.5 and 7.2 — short-detour approximators via rounding.
+
+For every scale d on the ladder, the pruned hop-BFS of Lemma 4.2 is run
+on G_d (via per-edge delays) for ζ* = ζ(1+2/ε) exact hops.  From each
+table, vertex v_i harvests pairs (j, d') into its *short-detour
+approximator* C_i:
+
+    j  = f*_{v_i}(h)   (the furthest rejoining index at exact hop h),
+    d' = dist(s, v_i) + h·μ_d + dist(v_j, t),
+
+with dist(v_j, t) attached to the BFS message (Lemma 7.5).  Validity
+(d' bounds a real replacement) and approximation (every short detour is
+(1+ε)-covered) are the two halves of the Lemma 7.5 proof, checked by the
+property tests.
+
+Lemma 7.2 then collapses C_i into the query structure
+eX({i}, [j, ∞)) = min { d' : (k, d') ∈ C_i, k ≥ j } — a suffix minimum.
+The mirrored run (forward sense, min select) produces eX((−∞, j], {i})
+analogously via prefix minima.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest.network import CongestNetwork
+from ..congest.words import INF
+from ..graphs.instance import RPathsInstance
+from ..core.hop_bfs import pruned_max_hop_bfs
+from ..core.knowledge import PathKnowledge
+from .rounding import Scale
+
+Number = object  # int | Fraction — lengths may be fractional
+
+
+class ShortDetourTables:
+    """The per-vertex query structures of Lemma 7.2, both senses.
+
+    ``forward[i][j]`` = eX({i}, [j, ∞))   for j in [i+1, h_st]
+    ``backward[i][j]`` = eX((−∞, j], {i}) for j in [0, i−1]
+
+    Entries are exact Fractions (INF sentinel for "none"); the arrays
+    live at v_i and were computed from messages v_i received.
+    """
+
+    def __init__(self, hop_count: int) -> None:
+        self.hop_count = hop_count
+        self.forward: List[Dict[int, Number]] = [
+            {} for _ in range(hop_count + 1)
+        ]
+        self.backward: List[Dict[int, Number]] = [
+            {} for _ in range(hop_count + 1)
+        ]
+
+    def x_start_at(self, i: int, j: int) -> Number:
+        """eX({i}, [j, ∞)) — detour leaves exactly at v_i, rejoins ≥ v_j."""
+        if j > self.hop_count:
+            return INF
+        return self.forward[i].get(j, INF)
+
+    def x_end_at(self, i: int, j: int) -> Number:
+        """eX((−∞, j], {i}) — detour leaves ≤ v_j, rejoins exactly at v_i."""
+        if j < 0:
+            return INF
+        return self.backward[i].get(j, INF)
+
+
+def build_short_detour_tables(
+    instance: RPathsInstance,
+    net: CongestNetwork,
+    knowledge: PathKnowledge,
+    scales: Sequence[Scale],
+    phase: str = "approximators(L7.5)",
+) -> ShortDetourTables:
+    """Run both pruned-BFS families over all scales and collapse to the
+    Lemma 7.2 query structures."""
+    path = knowledge.path
+    h = knowledge.hop_count
+    avoid = instance.path_edge_set()
+    tables = ShortDetourTables(h)
+
+    # pairs_fwd[i][k] = best d' among harvested pairs (k, d') at v_i.
+    pairs_fwd: List[Dict[int, Number]] = [{} for _ in range(h + 1)]
+    pairs_bwd: List[Dict[int, Number]] = [{} for _ in range(h + 1)]
+
+    with net.ledger.phase(phase):
+        for scale in scales:
+            budget = scale.hop_budget
+            seeds_fwd = {
+                path[i]: (i, knowledge.dist_to_t[i]) for i in range(h + 1)
+            }
+            fwd = pruned_max_hop_bfs(
+                net, seeds=seeds_fwd, hop_limit=budget,
+                avoid_edges=avoid, delay=scale.delay,
+                record_for=path, sense="backward", select="max",
+                phase=f"scaled-bfs(d={scale.d})")
+            seeds_bwd = {
+                path[i]: (i, knowledge.dist_from_s[i])
+                for i in range(h + 1)
+            }
+            bwd = pruned_max_hop_bfs(
+                net, seeds=seeds_bwd, hop_limit=budget,
+                avoid_edges=avoid, delay=scale.delay,
+                record_for=path, sense="forward", select="min",
+                phase=f"scaled-bfs-rev(d={scale.d})")
+            for i in range(h + 1):
+                table_f = fwd[path[i]]
+                table_b = bwd[path[i]]
+                dist_s_i = knowledge.dist_from_s[i]
+                dist_t_i = knowledge.dist_to_t[i]
+                for hop in range(1, budget + 1):
+                    entry = table_f[hop]
+                    if entry is not None and entry[0] > i:
+                        j, dist_t_j = entry
+                        d_prime = dist_s_i + scale.length(hop) + dist_t_j
+                        best = pairs_fwd[i].get(j)
+                        if best is None or d_prime < best:
+                            pairs_fwd[i][j] = d_prime
+                    entry = table_b[hop]
+                    if entry is not None and entry[0] < i:
+                        j, dist_s_j = entry
+                        d_prime = dist_s_j + scale.length(hop) + dist_t_i
+                        best = pairs_bwd[i].get(j)
+                        if best is None or d_prime < best:
+                            pairs_bwd[i][j] = d_prime
+
+        # Lemma 7.2 — local suffix/prefix minima over the pair sets.
+        for i in range(h + 1):
+            running: Number = INF
+            for j in range(h, i, -1):
+                candidate = pairs_fwd[i].get(j)
+                if candidate is not None and candidate < running:
+                    running = candidate
+                tables.forward[i][j] = running
+            running = INF
+            for j in range(0, i):
+                candidate = pairs_bwd[i].get(j)
+                if candidate is not None and candidate < running:
+                    running = candidate
+                tables.backward[i][j] = running
+    return tables

@@ -1,0 +1,197 @@
+"""Section 7.2 — information pipelining for weighted short detours.
+
+{0..h_st} is split into ℓ = O(n^{1/3}) intervals I_1..I_ℓ of O(n^{2/3})
+indices.  For an edge e = (v_i, v_{i+1}) inside interval I_g the three
+ingredients of the Proposition 7.1 proof are:
+
+* nearby-A (Lemma 7.7): eX([l_g, i], [i+1, ∞)) — a rightward sweep per
+  target i inside the interval;
+* nearby-B (Lemma 7.7): eX((−∞, i], [i+1, r_g]) — a leftward sweep per
+  target i, finishing at v_{i+1} and shifted one hop to v_i;
+* distant (Lemmas 7.8/7.9): eX((−∞, r_{g−1}], [l_{g+1}, ∞)), assembled
+  from the broadcast of every interval's best-detour-to-later-intervals
+  summary eX(I_x, [l_k, ∞)) (O(ℓ²) = O(n^{2/3}) words).
+
+All sweeps ride the shared pipelined path engine; the broadcast rides
+Lemma 2.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest.broadcast import broadcast_messages
+from ..congest.network import CongestNetwork
+from ..congest.pipeline import SweepTask, run_path_sweeps
+from ..congest.spanning_tree import SpanningTree
+from ..congest.words import INF
+from ..core.knowledge import PathKnowledge
+from .approximators import ShortDetourTables
+
+
+def interval_partition(hop_count: int, width: int) -> List[Tuple[int, int]]:
+    """[(l_1, r_1), ..., (l_ℓ, r_ℓ)] covering 0..h_st with r_g−l_g < width
+    and l_{g+1} = r_g + 1 (the Section 7 partition)."""
+    if width < 1:
+        raise ValueError("interval width must be positive")
+    intervals = []
+    left = 0
+    while left <= hop_count:
+        right = min(left + width - 1, hop_count)
+        intervals.append((left, right))
+        left = right + 1
+    return intervals
+
+
+def nearby_detours(
+    net: CongestNetwork,
+    knowledge: PathKnowledge,
+    tables: ShortDetourTables,
+    intervals: Sequence[Tuple[int, int]],
+    phase: str = "nearby(L7.7)",
+) -> Tuple[Dict[int, object], Dict[int, object]]:
+    """Lemma 7.7 — both nearby quantities for every in-interval edge.
+
+    Returns ``(a, b)`` with, for each edge index i that lies strictly
+    inside its interval (i, i+1 ∈ I_g),
+    ``a[i]`` = eX([l_g, i], [i+1, ∞)) and
+    ``b[i]`` = eX((−∞, i], [i+1, r_g]), both held at v_i.
+    """
+    path = knowledge.path
+    with net.ledger.phase(phase):
+        tasks = []
+        for left, right in intervals:
+            for i in range(left, right):
+                # A-sweep: start at v_left, end at v_i, min of
+                # eX({k}, [i+1, ∞)) over visited k.
+                def combine_a(pos: int, value, i: int = i):
+                    return min(value, tables.x_start_at(pos, i + 1))
+
+                tasks.append(SweepTask(
+                    key=("A", i), start=left, end=i,
+                    init=tables.x_start_at(left, i + 1),
+                    combine=combine_a))
+                # B-sweep: start at v_right, end at v_{i+1}, min of
+                # eX((−∞, i], {k}) over visited k.
+                def combine_b(pos: int, value, i: int = i):
+                    return min(value, tables.x_end_at(pos, i))
+
+                tasks.append(SweepTask(
+                    key=("B", i), start=right, end=i + 1,
+                    init=tables.x_end_at(right, i),
+                    combine=combine_b))
+        results = run_path_sweeps(net, path, tasks, phase="sweeps")
+
+        a: Dict[int, object] = {}
+        b_at_next: Dict[int, object] = {}
+        for left, right in intervals:
+            for i in range(left, right):
+                a[i] = results[("A", i)].final
+                b_at_next[i] = results[("B", i)].final
+        # One extra round: v_{i+1} hands the B value to v_i (the last
+        # step of the Lemma 7.7 proof).  All edges fire in parallel.
+        outbox: Dict[int, list] = {}
+        for i in b_at_next:
+            outbox.setdefault(path[i + 1], []).append(
+                (path[i], ("Bshift", b_at_next[i])))
+        if outbox:
+            net.exchange(outbox)
+        b = {i: b_at_next[i] for i in b_at_next}
+        return a, b
+
+
+def distant_detours(
+    net: CongestNetwork,
+    tree: SpanningTree,
+    knowledge: PathKnowledge,
+    tables: ShortDetourTables,
+    intervals: Sequence[Tuple[int, int]],
+    phase: str = "distant(L7.8/7.9)",
+) -> List[List[object]]:
+    """Lemmas 7.8 + 7.9 — the cross-interval quantities.
+
+    Returns ``cross[g][k]`` = eX((−∞, r_g], [l_k, ∞)) for every pair of
+    interval indices g < k, known at every vertex after the broadcast.
+    """
+    path = knowledge.path
+    ell = len(intervals)
+    with net.ledger.phase(phase):
+        # Lemma 7.8: per (g, k > g) sweep across I_g accumulating
+        # min_i eX({i}, [l_k, ∞)); result lands at v_{r_g}.
+        tasks = []
+        for g, (left, right) in enumerate(intervals):
+            for k in range(g + 1, ell):
+                l_k = intervals[k][0]
+
+                def combine(pos: int, value, l_k: int = l_k):
+                    return min(value, tables.x_start_at(pos, l_k))
+
+                tasks.append(SweepTask(
+                    key=("S", g, k), start=left, end=right,
+                    init=tables.x_start_at(left, l_k),
+                    combine=combine))
+        results = run_path_sweeps(net, path, tasks, phase="sweeps")
+
+        # Lemma 7.9: broadcast the ℓ(ℓ−1)/2 summaries, then local
+        # prefix minima.
+        messages: Dict[int, list] = {}
+        for g, (left, right) in enumerate(intervals):
+            origin = path[right]
+            for k in range(g + 1, ell):
+                messages.setdefault(origin, []).append(
+                    ("Xseg", g, k, results[("S", g, k)].final))
+        records = broadcast_messages(net, tree, messages,
+                                     phase="interval-broadcast(L2.4)")
+        seg = [[INF] * ell for _ in range(ell)]
+        for _, payload in records:
+            _, g, k, value = payload
+            seg[g][k] = value
+        cross = [[INF] * ell for _ in range(ell)]
+        for k in range(ell):
+            running = INF
+            for g in range(k):
+                if seg[g][k] < running:
+                    running = seg[g][k]
+                cross[g][k] = running
+        return cross
+
+
+def combine_short_detours(
+    knowledge: PathKnowledge,
+    tables: ShortDetourTables,
+    intervals: Sequence[Tuple[int, int]],
+    nearby_a: Dict[int, object],
+    nearby_b: Dict[int, object],
+    cross: List[List[object]],
+) -> List[object]:
+    """The Proposition 7.1 case analysis — pure local computation at v_i.
+
+    Returns the per-edge good approximation eX((−∞, i], [i+1, ∞)).
+    """
+    h = knowledge.hop_count
+    ell = len(intervals)
+    interval_of = [0] * (h + 1)
+    for g, (left, right) in enumerate(intervals):
+        for pos in range(left, right + 1):
+            interval_of[pos] = g
+
+    out: List[object] = []
+    for i in range(h):
+        g = interval_of[i]
+        left, right = intervals[g]
+        if i == right:  # edge crosses two intervals
+            value = cross[g][g + 1]
+        elif g == 0 and ell == 1:
+            value = nearby_a[i]
+        elif g == 0:
+            # first interval: every start is ≥ l_1 = 0, but ends may lie
+            # beyond r_1 — nearby-A already allows ends in [i+1, ∞).
+            value = nearby_a[i]
+        elif g == ell - 1:
+            # last interval: every end is ≤ r_ℓ = h_st.
+            value = nearby_b[i]
+        else:
+            value = min(nearby_a[i], nearby_b[i], cross[g - 1][g + 1])
+        out.append(value)
+    return out

@@ -1,0 +1,94 @@
+"""Section 7.1 — the rounding graphs G_d and the scale ladder.
+
+For a guess d of the detour weight, the graph G_d replaces every edge e
+of G \\ P with a path of ⌈w(e)/μ_d⌉ unit-weight edges, μ_d = εd/(2ζ).
+We never materialise G_d: the simulator runs hop-BFS on G with the
+per-edge *delay* ⌈w/μ_d⌉, which is exactly BFS on G_d (Observations
+7.3/7.4 are verified directly as unit tests of :func:`subdivided_hops`
+and :func:`scale_length`).
+
+To keep everything exact we work in integer arithmetic: ε = eps_num /
+eps_den, so μ_d = eps_num·d / (2ζ·eps_den) and
+
+    ⌈w/μ_d⌉ = ⌈ w · 2ζ·eps_den / (eps_num·d) ⌉
+
+is an integer ceiling division; a hop count h in G_d converts back to a
+length h·μ_d, an exact Fraction rendered as float only at the API edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List
+
+
+def epsilon_as_fraction(epsilon: float) -> Fraction:
+    """A conservative rational ε̂ ≤ ε (so guarantees only tighten)."""
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    frac = Fraction(epsilon).limit_denominator(10 ** 6)
+    if frac > Fraction(str(epsilon)):
+        frac = Fraction(str(epsilon))
+    return frac
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One rung of the d = 2, 4, 8, ... ladder."""
+
+    d: int
+    zeta: int
+    eps: Fraction
+
+    @property
+    def mu(self) -> Fraction:
+        """μ_d = εd / (2ζ) — the rounding unit."""
+        return self.eps * self.d / (2 * self.zeta)
+
+    def delay(self, weight: int) -> int:
+        """⌈w/μ_d⌉ — hops an edge of weight w occupies in G_d."""
+        num = weight * 2 * self.zeta * self.eps.denominator
+        den = self.eps.numerator * self.d
+        return -(-num // den)
+
+    def length(self, hops: int) -> Fraction:
+        """h·μ_d — the G_d length of an exact-h walk."""
+        return hops * self.mu
+
+    @property
+    def hop_budget(self) -> int:
+        """ζ* = ⌈ζ(1 + 2/ε)⌉ — Observation 7.4's hop bound."""
+        budget = self.zeta * (1 + Fraction(2) / self.eps)
+        return math.ceil(budget)
+
+
+def scale_ladder(zeta: int, epsilon: float,
+                 max_length: int) -> List[Scale]:
+    """All scales d = 2^1 .. 2^⌈log(max_length)⌉ (Lemma 7.5's loop).
+
+    ``max_length`` should upper-bound any relevant path weight (m·W in
+    the paper; callers pass the instance's total edge weight).
+    """
+    eps = epsilon_as_fraction(epsilon)
+    scales = []
+    d = 2
+    top = max(2, max_length)
+    while True:
+        scales.append(Scale(d=d, zeta=zeta, eps=eps))
+        if d >= top:
+            break
+        d *= 2
+    return scales
+
+
+def subdivided_hops(weights: List[int], scale: Scale) -> int:
+    """Hop count of a G_d path corresponding to edge weights ``weights``
+    (Observation 7.4's quantity Σ ⌈w/μ⌉)."""
+    return sum(scale.delay(w) for w in weights)
+
+
+def scale_length(weights: List[int], scale: Scale) -> Fraction:
+    """G_d length of the same path — Observation 7.3's quantity."""
+    return scale.length(subdivided_hops(weights, scale))

@@ -1,0 +1,49 @@
+"""Proposition 7.1 — (1+ε) short-detour replacement paths, weighted.
+
+Driver gluing the Section 7 pieces: the rounding-based short-detour
+approximators (Lemma 7.5 / 7.2), the interval sweeps (Lemmas 7.7/7.8)
+and the interval broadcast (Lemma 7.9), finished by the local case
+analysis of the Proposition 7.1 proof.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..congest.network import CongestNetwork
+from ..congest.spanning_tree import SpanningTree
+from ..graphs.instance import RPathsInstance
+from ..core.knowledge import PathKnowledge
+from .approximators import build_short_detour_tables
+from .intervals import (
+    combine_short_detours,
+    distant_detours,
+    interval_partition,
+    nearby_detours,
+)
+from .rounding import Scale
+
+
+def short_detour_lengths_weighted(
+    instance: RPathsInstance,
+    net: CongestNetwork,
+    tree: SpanningTree,
+    knowledge: PathKnowledge,
+    zeta: int,
+    scales: Sequence[Scale],
+    phase: str = "short-detour(P7.1)",
+) -> List[object]:
+    """Proposition 7.1 — returns per-edge values x with
+    |st ⋄ e| ≤ x ≤ (1+ε) · (best short-detour replacement)."""
+    with net.ledger.phase(phase):
+        tables = build_short_detour_tables(
+            instance, net, knowledge, scales)
+        width = max(1, math.ceil(instance.n ** (2.0 / 3.0)))
+        intervals = interval_partition(knowledge.hop_count, width)
+        nearby_a, nearby_b = nearby_detours(
+            net, knowledge, tables, intervals)
+        cross = distant_detours(
+            net, tree, knowledge, tables, intervals)
+        return combine_short_detours(
+            knowledge, tables, intervals, nearby_a, nearby_b, cross)

@@ -1,0 +1,34 @@
+"""Baselines: centralized oracles and the distributed algorithms the
+paper compares against (Table 1 and the Section 1.1 remark)."""
+
+from .centralized import (
+    detour_replacement_lengths,
+    detour_replacement_lengths_with_threshold,
+    replacement_lengths,
+    two_sisp_length,
+)
+from .naive_distributed import NaiveReport, solve_rpaths_naive
+from .mr24 import MR24Report, solve_rpaths_mr24
+from .roditty_zwick import solve_rpaths_roditty_zwick
+from .witnesses import (
+    ReplacementWitness,
+    canonical_decomposition,
+    detour_is_edge_disjoint,
+    replacement_witnesses,
+)
+
+__all__ = [
+    "MR24Report",
+    "NaiveReport",
+    "ReplacementWitness",
+    "canonical_decomposition",
+    "detour_is_edge_disjoint",
+    "replacement_witnesses",
+    "detour_replacement_lengths",
+    "detour_replacement_lengths_with_threshold",
+    "replacement_lengths",
+    "solve_rpaths_mr24",
+    "solve_rpaths_naive",
+    "solve_rpaths_roditty_zwick",
+    "two_sisp_length",
+]

@@ -1,0 +1,128 @@
+"""Centralized reference algorithms — the correctness oracle.
+
+``replacement_lengths`` computes, for every edge e of P, the exact value
+|st ⋄ e| by deleting e and re-running BFS/Dijkstra (O(h_st) shortest-path
+computations).  Every distributed algorithm in this repository is tested
+against it.
+
+Also provides the canonical detour decomposition of Section 2 (each
+replacement path can be taken as P-prefix + detour + P-suffix with the
+detour edge-disjoint from P), used by unit tests to cross-check the
+structure Lemma 4.3 and Section 5 rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..congest.words import INF, clamp_inf
+from ..graphs.instance import RPathsInstance
+
+
+def replacement_lengths(instance: RPathsInstance) -> List[int]:
+    """Exact |st ⋄ (v_i, v_{i+1})| for every i (Definition 2.1).
+
+    Returns a list of length h_st; entry i is INF when no replacement
+    path exists for the i-th path edge.
+    """
+    out = []
+    for edge in instance.path_edges():
+        dist = instance.dijkstra(
+            instance.s, avoid_edges=frozenset([edge]))
+        out.append(clamp_inf(dist[instance.t]))
+    return out
+
+
+def two_sisp_length(instance: RPathsInstance) -> int:
+    """Exact second-simple-shortest-path length (Definition 2.3)."""
+    lengths = replacement_lengths(instance)
+    return clamp_inf(min(lengths)) if lengths else INF
+
+
+def detour_replacement_lengths(
+    instance: RPathsInstance,
+) -> Tuple[List[int], List[int]]:
+    """Replacement lengths split by detour hop count.
+
+    Computes, for each path edge e = (v_i, v_{i+1}), the best replacement
+    length realised by a canonical decomposition P[s, v_j] + detour +
+    P[v_l, t] (j ≤ i < l, detour edge-disjoint from P), reported twice:
+    once over *short* detours (≤ ζ = n^{2/3} hops) and once over *long*
+    detours.  Used to validate Propositions 4.1 and 5.1 separately.
+    """
+    zeta = max(1, round(instance.n ** (2.0 / 3.0)))
+    return detour_replacement_lengths_with_threshold(instance, zeta)
+
+
+def detour_replacement_lengths_with_threshold(
+    instance: RPathsInstance,
+    zeta: int,
+) -> Tuple[List[int], List[int]]:
+    """As :func:`detour_replacement_lengths` with an explicit threshold.
+
+    The detour from v_j to v_l is a shortest path in G \\ P; its hop count
+    decides short (≤ zeta) versus long (> zeta).  For each (j, l) pair we
+    need both the weighted detour length and its hop count; we take, for
+    each pair, the minimum-weight detour and among those the minimum hop
+    count (ties resolved in favour of fewer hops, matching how a BFS
+    explores the unweighted case).
+    """
+    h = instance.hop_count
+    path = instance.path
+    avoid = instance.path_edge_set()
+    pre = instance.path_prefix_weights()
+    total = pre[-1]
+
+    # dist_from[j][v]: weighted distance v_j -> v in G \ P, plus hop count
+    # of one minimum-weight path.
+    dist_rows: List[List[int]] = []
+    hops_rows: List[List[int]] = []
+    for j in range(h + 1):
+        dist, hops = _dijkstra_with_hops(instance, path[j], avoid)
+        dist_rows.append(dist)
+        hops_rows.append(hops)
+
+    short = [INF] * h
+    long_ = [INF] * h
+    for j in range(h + 1):
+        for l in range(j + 1, h + 1):
+            d = dist_rows[j][path[l]]
+            if d >= INF:
+                continue
+            hop = hops_rows[j][path[l]]
+            length = pre[j] + d + (total - pre[l])
+            bucket = short if hop <= zeta else long_
+            for i in range(j, l):
+                if length < bucket[i]:
+                    bucket[i] = length
+    return short, long_
+
+
+def _dijkstra_with_hops(
+    instance: RPathsInstance,
+    source: int,
+    avoid_edges,
+) -> Tuple[List[int], List[int]]:
+    """Dijkstra in G \\ avoid returning (weighted dist, hops of a
+    min-weight min-hop path)."""
+    import heapq
+
+    adj = instance.adjacency()
+    dist = [INF] * instance.n
+    hops = [INF] * instance.n
+    dist[source] = 0
+    hops[source] = 0
+    heap = [(0, 0, source)]
+    while heap:
+        d, k, u = heapq.heappop(heap)
+        if (d, k) > (dist[u], hops[u]):
+            continue
+        for v, w in adj[u]:
+            if (u, v) in avoid_edges:
+                continue
+            nd, nk = d + w, k + 1
+            if (nd, nk) < (dist[v], hops[v]):
+                dist[v] = nd
+                hops[v] = nk
+                heapq.heappush(heap, (nd, nk, v))
+    return dist, hops

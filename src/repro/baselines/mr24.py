@@ -1,0 +1,201 @@
+"""The Manoharan–Ramachandran (SIROCCO 2024) style algorithm [MR24b].
+
+The prior state of the art that Theorem 1 improves on.  Its structure
+(Section 3.1 of the paper):
+
+* assume every vertex knows the identifiers of P in sequence — justified
+  for them because their round budget already carries an O(h_st) term;
+  implemented as an O(h_st + D) broadcast of the P sequence;
+* short detours: a ζ-hop BFS from *every* vertex of P simultaneously,
+  O(h_st + ζ) rounds via the k-source BFS of Lemma 5.5 with k = h_st+1;
+* long detours: landmarks as in Section 5, but *both* the landmarks and
+  every vertex of P broadcast all their landmark distances —
+  O(|L|² + |L|·h_st + D) broadcast rounds, the term our paper's
+  Section 5 removes;
+* final combination is local (everything was broadcast).
+
+The output is exact (same guarantees as Theorem 1); only the round
+profile differs — which is precisely what benchmarks E1/E3 measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..congest.broadcast import broadcast_messages
+from ..congest.metrics import RoundLedger
+from ..congest.multisource import multi_source_hop_bfs
+from ..congest.spanning_tree import build_spanning_tree
+from ..congest.words import INF, clamp_inf
+from ..core.landmark_distances import landmark_closure
+from ..core.landmarks import sample_landmarks
+from ..graphs.instance import RPathsInstance
+
+
+@dataclass
+class MR24Report:
+    """Output of the MR24b-style execution."""
+
+    instance_name: str
+    lengths: List[int]
+    ledger: RoundLedger
+    zeta: int
+    landmark_count: int
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.rounds
+
+
+def solve_rpaths_mr24(
+    instance: RPathsInstance,
+    zeta: Optional[int] = None,
+    seed: int = 0,
+    landmarks: Optional[Sequence[int]] = None,
+    landmark_c: float = 2.0,
+) -> MR24Report:
+    """Run the MR24b-style algorithm (exact answers, h_st-heavy rounds)."""
+    if instance.weighted:
+        raise ValueError("this baseline reproduces the unweighted MR24b "
+                         "algorithm")
+    n = instance.n
+    h = instance.hop_count
+    path = instance.path
+    if zeta is None:
+        zeta = max(1, math.ceil(n ** (2.0 / 3.0)))
+    avoid = instance.path_edge_set()
+
+    net = instance.build_network()
+    tree = build_spanning_tree(net)
+
+    with net.ledger.phase("mr24"):
+        # Their initial-knowledge assumption, made explicit: broadcast
+        # the P sequence (h_st + 1 messages → O(h_st + D) rounds).
+        broadcast_messages(
+            net, tree,
+            {path[i]: [("pseq", i)] for i in range(h + 1)},
+            phase="mr24-path-broadcast")
+
+        # -- short detours: ζ-hop BFS from all of P at once.
+        to_path = multi_source_hop_bfs(
+            net, path, zeta, direction="in", avoid_edges=avoid,
+            phase="mr24-short-kBFS")
+        # to_path[j][u] = hop distance u → v_j in G \ P (≤ ζ).
+        short = [INF] * h
+        for i in range(h + 1):
+            u = path[i]
+            for j in range(i + 1, h + 1):
+                d = to_path[j][u]
+                if d >= INF:
+                    continue
+                length = h - (j - i) + d
+                for e in range(i, j):
+                    if length < short[e]:
+                        short[e] = length
+        # (The combination above is local at each v_i after an O(h_st)
+        # propagation sweep along P; the sweep's rounds are charged
+        # explicitly — this is the h_st term their algorithm carries.)
+        with net.ledger.phase("mr24-short-propagation"):
+            for step in range(h):
+                outbox = {path[step]: [(path[step + 1], ("sw", 0))]}
+                net.exchange(outbox)
+
+        # -- long detours: landmarks; L and P both broadcast.
+        if landmarks is None:
+            landmarks = sample_landmarks(n, zeta, c=landmark_c, seed=seed)
+        landmarks = sorted(set(landmarks))
+        long_ = [INF] * h
+        if landmarks:
+            k = len(landmarks)
+            fwd = multi_source_hop_bfs(
+                net, landmarks, zeta, direction="out",
+                avoid_edges=avoid, phase="mr24-kBFS-fwd")
+            bwd = multi_source_hop_bfs(
+                net, landmarks, zeta, direction="in",
+                avoid_edges=avoid, phase="mr24-kBFS-bwd")
+
+            # THE broadcast [MR24b]: landmarks send |L| pair distances
+            # each, and every vertex of P sends its 2|L| landmark
+            # distances — O(|L|² + |L|·h_st) words in total.
+            messages: Dict[int, list] = {}
+            for b, l_b in enumerate(landmarks):
+                messages.setdefault(l_b, []).extend(
+                    ("LL", a, b, fwd[a][l_b]) for a in range(k))
+            for i in range(h + 1):
+                u = path[i]
+                messages.setdefault(u, []).extend(
+                    ("PL", i, a, bwd[a][u]) for a in range(k))
+                messages.setdefault(u, []).extend(
+                    ("LP", i, a, fwd[a][u]) for a in range(k))
+            records = broadcast_messages(
+                net, tree, messages, phase="mr24-big-broadcast")
+
+            pair = [[INF] * k for _ in range(k)]
+            p_to_l = [[INF] * k for _ in range(h + 1)]
+            l_to_p = [[INF] * k for _ in range(h + 1)]
+            for _, payload in records:
+                tag = payload[0]
+                if tag == "LL":
+                    _, a, b, val = payload
+                    pair[a][b] = val
+                elif tag == "PL":
+                    _, i, a, val = payload
+                    p_to_l[i][a] = val
+                elif tag == "LP":
+                    _, i, a, val = payload
+                    l_to_p[i][a] = val
+            closure = landmark_closure(pair)
+
+            # Local combination (global knowledge): for each edge e_i,
+            # min over landmark pairs of prefix + closure + suffix.
+            best_to = [[INF] * k for _ in range(h + 1)]
+            best_from = [[INF] * k for _ in range(h + 1)]
+            for i in range(h + 1):
+                for a in range(k):
+                    direct = p_to_l[i][a]
+                    best = direct if direct < INF else INF
+                    for mid in range(k):
+                        if p_to_l[i][mid] < INF and closure[mid][a] < INF:
+                            cand = p_to_l[i][mid] + closure[mid][a]
+                            if cand < best:
+                                best = cand
+                    best_to[i][a] = best
+                    direct = l_to_p[i][a]
+                    best = direct if direct < INF else INF
+                    for mid in range(k):
+                        if closure[a][mid] < INF and l_to_p[i][mid] < INF:
+                            cand = closure[a][mid] + l_to_p[i][mid]
+                            if cand < best:
+                                best = cand
+                    best_from[i][a] = best
+
+            m_prefix = [[INF] * k for _ in range(h + 1)]
+            for i in range(h + 1):
+                for a in range(k):
+                    cand = i + best_to[i][a]
+                    prev = m_prefix[i - 1][a] if i > 0 else INF
+                    m_prefix[i][a] = min(prev, cand)
+            n_suffix = [[INF] * k for _ in range(h + 2)]
+            for i in range(h, -1, -1):
+                for a in range(k):
+                    cand = best_from[i][a] + (h - i)
+                    nxt = n_suffix[i + 1][a] if i < h else INF
+                    n_suffix[i][a] = min(nxt, cand)
+            for e in range(h):
+                best = INF
+                for a in range(k):
+                    cand = m_prefix[e][a] + n_suffix[e + 1][a]
+                    if cand < best:
+                        best = cand
+                long_[e] = clamp_inf(best)
+
+    lengths = [clamp_inf(min(a, b)) for a, b in zip(short, long_)]
+    return MR24Report(
+        instance_name=instance.name,
+        lengths=lengths,
+        ledger=net.ledger,
+        zeta=zeta,
+        landmark_count=len(landmarks),
+    )

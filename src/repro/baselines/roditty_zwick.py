@@ -1,0 +1,118 @@
+"""A centralized Roditty–Zwick style short/long-detour algorithm [RZ12].
+
+The short-/long-detour split that both [MR24b] and this paper build on
+originates here.  This centralized implementation is an *independent*
+realisation of the same structure (truncated BFS for short detours,
+sampled landmarks for long ones), used by the test-suite to cross-check
+the structural lemmas (the detour decomposition, the landmark coverage
+argument) without any distributed machinery in the loop.
+
+It is Monte Carlo exactly like the original: correct w.h.p. over the
+landmark sample; tests either use generous sampling or a full landmark
+set for determinism.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from ..congest.words import INF, clamp_inf
+from ..graphs.instance import RPathsInstance
+
+
+def _truncated_bfs(adj: List[List[int]], source: int,
+                   limit: int, n: int) -> Dict[int, int]:
+    """Hop distances from ``source`` up to ``limit`` (dict, sparse)."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        d = dist[u]
+        if d >= limit:
+            continue
+        for v in adj[u]:
+            if v not in dist:
+                dist[v] = d + 1
+                queue.append(v)
+    return dist
+
+
+def _full_bfs(adj: List[List[int]], source: int, n: int) -> List[int]:
+    dist = [INF] * n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if dist[v] >= INF:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def solve_rpaths_roditty_zwick(
+    instance: RPathsInstance,
+    zeta: Optional[int] = None,
+    seed: int = 0,
+    landmarks: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Exact-w.h.p. replacement lengths via the RZ short/long split."""
+    if instance.weighted:
+        raise ValueError("the RZ algorithm targets unweighted graphs")
+    n = instance.n
+    h = instance.hop_count
+    path = instance.path
+    pos_of = {v: i for i, v in enumerate(path)}
+    if zeta is None:
+        zeta = max(1, math.ceil(math.sqrt(n)))  # RZ's √n threshold
+
+    avoid = instance.path_edge_set()
+    adj: List[List[int]] = [[] for _ in range(n)]
+    radj: List[List[int]] = [[] for _ in range(n)]
+    for u, v, _ in instance.edges:
+        if (u, v) in avoid:
+            continue
+        adj[u].append(v)
+        radj[v].append(u)
+
+    lengths = [INF] * h
+
+    # -- short detours: truncated BFS in G \ P from every path vertex.
+    for i in range(h + 1):
+        dist = _truncated_bfs(adj, path[i], zeta, n)
+        for v, d in dist.items():
+            j = pos_of.get(v)
+            if j is not None and j > i:
+                length = h - (j - i) + d
+                for e in range(i, j):
+                    if length < lengths[e]:
+                        lengths[e] = length
+
+    # -- long detours: landmarks hit every ζ-hop stretch w.h.p.
+    rng = random.Random(seed)
+    if landmarks is None:
+        prob = min(1.0, 9.0 * math.log(max(2, n)) / zeta)
+        landmarks = [v for v in range(n) if rng.random() < prob]
+    for l in sorted(set(landmarks)):
+        from_l = _full_bfs(adj, l, n)
+        to_l = _full_bfs(radj, l, n)
+        # best prefix entering l from v_{≤ i}, best suffix leaving l to
+        # v_{≥ i+1}; standard prefix/suffix minima.
+        enter = [INF] * (h + 1)
+        for i in range(h + 1):
+            cand = i + to_l[path[i]]
+            enter[i] = min(enter[i - 1] if i else INF, clamp_inf(cand))
+        leave = [INF] * (h + 2)
+        for i in range(h, -1, -1):
+            cand = from_l[path[i]] + (h - i)
+            leave[i] = min(leave[i + 1] if i < h else INF,
+                           clamp_inf(cand))
+        for e in range(h):
+            cand = enter[e] + leave[e + 1]
+            if cand < lengths[e]:
+                lengths[e] = cand
+
+    return [clamp_inf(x) for x in lengths]

@@ -1,0 +1,130 @@
+"""Witness reconstruction: the actual replacement *paths*, not just
+their lengths.
+
+The distributed algorithms output lengths (Definition 2.1 asks for
+lengths); operators usually also want the concrete fallback route.
+This module reconstructs, for each failed edge e of P, one shortest
+replacement path — and verifies the canonical decomposition of
+Section 2 (prefix of P + detour edge-disjoint from P + suffix of P)
+that Lemma 4.3 and Section 5 rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..congest.words import INF
+from ..graphs.instance import RPathsInstance
+
+
+@dataclass
+class ReplacementWitness:
+    """One failed edge's fallback route and its decomposition."""
+
+    edge_index: int
+    failed_edge: Tuple[int, int]
+    length: int
+    path: Optional[List[int]]          # None when no replacement exists
+    #: Canonical decomposition positions on P (Section 2's j and l,
+    #: with leaves_at ≤ edge_index < rejoins_at): the witness follows P
+    #: up to position ``leaves_at``, detours, and follows P again from
+    #: position ``rejoins_at``.
+    leaves_at: Optional[int] = None
+    rejoins_at: Optional[int] = None
+
+    @property
+    def exists(self) -> bool:
+        return self.path is not None
+
+
+def _shortest_avoiding(instance: RPathsInstance, avoid,
+                       ) -> Tuple[int, Optional[List[int]]]:
+    """Dijkstra/BFS with parents in G minus ``avoid`` edges."""
+    adj = instance.adjacency()
+    n = instance.n
+    dist = [INF] * n
+    parent = [-1] * n
+    s, t = instance.s, instance.t
+    dist[s] = 0
+    heap = [(0, s)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in adj[u]:
+            if (u, v) in avoid:
+                continue
+            nd = d + w
+            if nd < dist[v] or (nd == dist[v] and
+                                parent[v] > u >= 0):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if dist[t] >= INF:
+        return INF, None
+    path = [t]
+    while path[-1] != s:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return dist[t], path
+
+
+def canonical_decomposition(
+    instance: RPathsInstance, witness: List[int],
+) -> Tuple[int, int]:
+    """(leave position, rejoin position) of a replacement path on P.
+
+    Returns the largest prefix of P the witness follows and the largest
+    suffix it rejoins for good; the middle part is the detour.  (The
+    witness may brush P's vertices in between — Section 2 only requires
+    edge-disjointness from P, which callers may check via
+    :func:`detour_is_edge_disjoint`.)
+    """
+    position = {v: i for i, v in enumerate(instance.path)}
+    leave = 0
+    for offset, v in enumerate(witness):
+        if position.get(v) == offset:
+            leave = offset
+        else:
+            break
+    rejoin = len(instance.path) - 1
+    for back in range(len(witness)):
+        v = witness[len(witness) - 1 - back]
+        expected = len(instance.path) - 1 - back
+        if position.get(v) == expected:
+            rejoin = expected
+        else:
+            break
+    return leave, rejoin
+
+
+def detour_is_edge_disjoint(instance: RPathsInstance,
+                            witness: List[int],
+                            leave: int, rejoin: int) -> bool:
+    """Whether the witness's middle part avoids every edge of P."""
+    p_edges = instance.path_edge_set()
+    middle = witness[leave:len(witness) - (instance.hop_count - rejoin)]
+    return all((u, v) not in p_edges
+               for u, v in zip(middle, middle[1:]))
+
+
+def replacement_witnesses(
+    instance: RPathsInstance,
+) -> List[ReplacementWitness]:
+    """One shortest replacement path per failed edge of P."""
+    out = []
+    for i, edge in enumerate(instance.path_edges()):
+        length, path = _shortest_avoiding(
+            instance, frozenset([edge]))
+        if path is None:
+            out.append(ReplacementWitness(
+                edge_index=i, failed_edge=edge,
+                length=INF, path=None))
+            continue
+        leave, rejoin = canonical_decomposition(instance, path)
+        out.append(ReplacementWitness(
+            edge_index=i, failed_edge=edge, length=length,
+            path=path, leaves_at=leave, rejoins_at=rejoin))
+    return out

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve
+    Run the Theorem 1 solver (or Theorem 3 with --epsilon) on a
+    generated instance and print the per-edge replacement lengths plus
+    the round breakdown.
+compare
+    Run Theorem 1, the MR24b baseline, and the trivial baseline on the
+    same instance and print the Table-1-style row.
+lower-bound
+    Build G(k, d, p, φ, M, x) for random (M, x), verify Lemma 6.8, and
+    run the disjointness reduction.
+info
+    Print the library version and the experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import format_table
+from .congest.words import INF
+
+
+def _build_instance(args):
+    from .graphs import (
+        grid_instance,
+        layered_instance,
+        path_with_chords_instance,
+        random_instance,
+    )
+    family = args.family
+    if family == "random":
+        return random_instance(args.n, seed=args.seed,
+                               weighted=args.weighted)
+    if family == "chords":
+        return path_with_chords_instance(
+            max(2, args.n // 2), seed=args.seed, weighted=args.weighted,
+            overlay_hub=True)
+    if family == "grid":
+        cols = max(2, args.n // 4)
+        return grid_instance(4, cols)
+    if family == "layered":
+        width = 4
+        layers = max(2, args.n // width)
+        return layered_instance(layers, width, seed=args.seed,
+                                weighted=args.weighted)
+    raise SystemExit(f"unknown family {family!r}")
+
+
+def cmd_solve(args) -> int:
+    instance = _build_instance(args)
+    print(f"instance {instance.name}: n={instance.n} m={instance.m} "
+          f"h_st={instance.hop_count}")
+    if args.epsilon is not None:
+        from .approx.apx_rpaths import solve_apx_rpaths
+        report = solve_apx_rpaths(instance, epsilon=args.epsilon,
+                                  seed=args.seed)
+        print(f"(1+{args.epsilon})-Apx-RPaths (Theorem 3): "
+              f"{report.rounds} rounds, {report.scale_count} scales")
+    else:
+        if instance.weighted:
+            raise SystemExit(
+                "weighted instance needs --epsilon (Theorem 3)")
+        from .core.rpaths import solve_rpaths
+        report = solve_rpaths(instance, seed=args.seed)
+        print(f"RPaths (Theorem 1): {report.rounds} rounds, "
+              f"|L|={report.landmark_count}, zeta={report.zeta}")
+    shown = ", ".join(
+        "inf" if (x == float('inf') or x >= INF) else str(x)
+        for x in report.lengths[:20])
+    more = " ..." if len(report.lengths) > 20 else ""
+    print(f"lengths: [{shown}{more}]")
+    if args.breakdown:
+        print(report.ledger.report())
+    if args.check:
+        from .baselines import replacement_lengths
+        truth = replacement_lengths(instance)
+        if args.epsilon is None:
+            ok = report.lengths == truth
+        else:
+            eps = args.epsilon
+            ok = all(
+                (t >= INF and x == float("inf")) or
+                (t < INF and t - 1e-9 <= x <= (1 + eps) * t + 1e-9)
+                for x, t in zip(report.lengths, truth))
+        print(f"oracle check: {'OK' if ok else 'MISMATCH'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .analysis import run_table1_cell
+    instance = _build_instance(args)
+    runs = run_table1_cell(instance, seed=args.seed)
+    rows = [[r.algorithm, r.rounds, r.max_link_words,
+             "OK" if r.correct else "WRONG"] for r in runs]
+    print(format_table(
+        ["algorithm", "rounds", "max link words", "exact"],
+        rows, title=f"{instance.name}: n={instance.n} "
+                    f"h_st={instance.hop_count}"))
+    return 0 if all(r.correct for r in runs) else 1
+
+
+def cmd_lower_bound(args) -> int:
+    from .lowerbound import (
+        build_hard_instance,
+        decide_disjointness_via_two_sisp,
+        verify_correspondence,
+    )
+    rng = random.Random(args.seed)
+    k = args.k
+    matrix = [[rng.randint(0, 1) for _ in range(k)] for _ in range(k)]
+    x = [rng.randint(0, 1) for _ in range(k * k)]
+    hard = build_hard_instance(k, args.d, args.p, matrix, x)
+    report = verify_correspondence(hard)
+    print(f"G(k={k}, d={args.d}, p={args.p}): n={hard.n}, "
+          f"L_opt={report.optimal_length}")
+    print(f"Lemma 6.8 dichotomy holds: {report.holds} "
+          f"({report.hit_count}/{k * k} minimal edges)")
+    xx = [rng.randint(0, 1) for _ in range(4)]
+    yy = [rng.randint(0, 1) for _ in range(4)]
+    red = decide_disjointness_via_two_sisp(
+        xx, yy, 2, use_oracle_knowledge=True)
+    print(f"reduction demo: disj({xx},{yy}) = {red.expected}, "
+          f"decoded {red.decided} in {red.rounds} rounds "
+          f"({'OK' if red.correct else 'MISMATCH'})")
+    return 0 if report.holds and red.correct else 1
+
+
+def cmd_info(_args) -> int:
+    print(f"repro {__version__} — reproduction of 'Optimal Distributed "
+          "Replacement Paths' (PODC 2025)")
+    print("experiments: see DESIGN.md (index) and EXPERIMENTS.md "
+          "(paper vs measured); benches under benchmarks/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(p):
+        p.add_argument("--family", default="random",
+                       choices=["random", "chords", "grid", "layered"])
+        p.add_argument("--n", type=int, default=100,
+                       help="target instance size")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--weighted", action="store_true")
+
+    p_solve = sub.add_parser("solve", help="run the paper's solver")
+    add_instance_args(p_solve)
+    p_solve.add_argument("--epsilon", type=float, default=None,
+                         help="use Theorem 3 with this ε")
+    p_solve.add_argument("--breakdown", action="store_true",
+                         help="print the per-phase round ledger")
+    p_solve.add_argument("--check", action="store_true",
+                         help="verify against the centralized oracle")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_cmp = sub.add_parser("compare",
+                           help="Theorem 1 vs MR24b vs trivial")
+    add_instance_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_lb = sub.add_parser("lower-bound",
+                          help="Section 6 constructions + reduction")
+    p_lb.add_argument("--k", type=int, default=2)
+    p_lb.add_argument("--d", type=int, default=2)
+    p_lb.add_argument("--p", type=int, default=1)
+    p_lb.add_argument("--seed", type=int, default=0)
+    p_lb.set_defaults(func=cmd_lower_bound)
+
+    p_info = sub.add_parser("info", help="version and experiment map")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

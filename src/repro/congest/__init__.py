@@ -1,0 +1,67 @@
+"""The CONGEST model substrate: simulator, accounting, and primitives.
+
+This package contains everything the paper assumes of its execution
+environment:
+
+* :class:`~repro.congest.network.CongestNetwork` — the synchronous
+  message-passing engine with per-link bandwidth accounting;
+* :class:`~repro.congest.metrics.RoundLedger` — round/message/congestion
+  bookkeeping with named phases;
+* BFS primitives (:mod:`~repro.congest.bfs`), the k-source h-hop BFS of
+  Lemma 5.5 (:mod:`~repro.congest.multisource`), the pipelined tree
+  broadcast of Lemma 2.4 (:mod:`~repro.congest.broadcast`), and the
+  pipelined path-sweep engine (:mod:`~repro.congest.pipeline`) shared by
+  Lemmas 4.4, 5.7, 7.7 and 7.8.
+"""
+
+from .errors import (
+    BandwidthExceededError,
+    CongestError,
+    InvalidInstanceError,
+    NotALinkError,
+    RoundLimitExceededError,
+    UnknownVertexError,
+)
+from .metrics import PhaseStats, RoundLedger
+from .network import DEFAULT_BANDWIDTH_WORDS, CongestNetwork
+from .words import INF, clamp_inf, is_unreachable, words_of
+from .bfs import bfs_distances, bfs_tree, sssp_distances_weighted
+from .multisource import multi_source_hop_bfs
+from .spanning_tree import SpanningTree, build_spanning_tree
+from .broadcast import (
+    broadcast_messages,
+    broadcast_value,
+    convergecast,
+    global_min,
+)
+from .pipeline import SweepResult, SweepTask, run_path_sweeps
+
+__all__ = [
+    "BandwidthExceededError",
+    "CongestError",
+    "CongestNetwork",
+    "DEFAULT_BANDWIDTH_WORDS",
+    "INF",
+    "InvalidInstanceError",
+    "NotALinkError",
+    "PhaseStats",
+    "RoundLedger",
+    "RoundLimitExceededError",
+    "SpanningTree",
+    "SweepResult",
+    "SweepTask",
+    "UnknownVertexError",
+    "bfs_distances",
+    "bfs_tree",
+    "broadcast_messages",
+    "broadcast_value",
+    "build_spanning_tree",
+    "clamp_inf",
+    "convergecast",
+    "global_min",
+    "is_unreachable",
+    "multi_source_hop_bfs",
+    "run_path_sweeps",
+    "sssp_distances_weighted",
+    "words_of",
+]

@@ -1,0 +1,221 @@
+"""Distributed breadth-first search primitives.
+
+All functions here move real messages through
+:meth:`~repro.congest.network.CongestNetwork.exchange`, so their round
+cost is measured by the network's ledger, exactly as the CONGEST model
+charges it.
+
+Conventions
+-----------
+* ``direction="out"`` computes distances *from* the source following edge
+  directions; ``direction="in"`` computes distances from every vertex *to*
+  the source (a BFS along reversed edges, as used pervasively by the
+  paper, e.g. the backward hop-constrained BFS of Lemma 4.2).
+* ``avoid_edges`` removes directed edges from consideration (the paper's
+  ``G \\ P`` and ``G \\ e`` graphs) while the communication links remain —
+  a failed or excluded edge can still carry messages in CONGEST.
+* Unreachable vertices get distance :data:`~repro.congest.words.INF`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .network import CongestNetwork
+from .words import INF
+
+EdgeSet = FrozenSet[Tuple[int, int]]
+
+_EMPTY: EdgeSet = frozenset()
+
+
+def _next_hops(net: CongestNetwork, u: int, direction: str,
+               avoid_edges: EdgeSet) -> List[int]:
+    """Vertices one hop *downstream* of ``u`` for the given direction.
+
+    For ``direction="out"`` these are out-neighbors (BFS expands forward);
+    for ``direction="in"`` these are in-neighbors (BFS expands backward).
+    """
+    if direction == "out":
+        return [v for v in net.out_neighbors(u)
+                if (u, v) not in avoid_edges]
+    if direction == "in":
+        return [x for x in net.in_neighbors(u)
+                if (x, u) not in avoid_edges]
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def bfs_distances(
+    net: CongestNetwork,
+    source: int,
+    direction: str = "out",
+    hop_limit: Optional[int] = None,
+    avoid_edges: EdgeSet = _EMPTY,
+    phase: Optional[str] = None,
+) -> List[int]:
+    """Single-source BFS; returns the hop-distance of every vertex.
+
+    Rounds consumed: the depth explored (≤ ``hop_limit`` when given).
+    One word per link per round — congestion-free by construction.
+    """
+    name = phase if phase is not None else f"bfs[{source}]"
+    with net.ledger.phase(name):
+        dist = [INF] * net.n
+        dist[source] = 0
+        frontier = [source]
+        depth = 0
+        while frontier:
+            if hop_limit is not None and depth >= hop_limit:
+                break
+            outbox = {}
+            for u in frontier:
+                targets = [(v, dist[u]) for v in
+                           _next_hops(net, u, direction, avoid_edges)]
+                if targets:
+                    outbox[u] = targets
+            if not outbox:
+                break
+            inbox = net.exchange(outbox)
+            depth += 1
+            frontier = []
+            for v, arrivals in inbox.items():
+                if dist[v] >= INF:
+                    dist[v] = depth
+                    frontier.append(v)
+        return dist
+
+
+def bfs_tree(
+    net: CongestNetwork,
+    source: int,
+    direction: str = "out",
+    hop_limit: Optional[int] = None,
+    avoid_edges: EdgeSet = _EMPTY,
+    phase: Optional[str] = None,
+) -> Tuple[List[int], List[int]]:
+    """BFS returning ``(dist, parent)``; parent[source] == source.
+
+    Ties are broken toward the smallest sender identifier, matching the
+    deterministic tie-breaking the paper's deterministic subroutines need.
+    """
+    name = phase if phase is not None else f"bfs-tree[{source}]"
+    with net.ledger.phase(name):
+        dist = [INF] * net.n
+        parent = [-1] * net.n
+        dist[source] = 0
+        parent[source] = source
+        frontier = [source]
+        depth = 0
+        while frontier:
+            if hop_limit is not None and depth >= hop_limit:
+                break
+            outbox = {}
+            for u in frontier:
+                targets = [(v, 0) for v in
+                           _next_hops(net, u, direction, avoid_edges)]
+                if targets:
+                    outbox[u] = targets
+            if not outbox:
+                break
+            inbox = net.exchange(outbox)
+            depth += 1
+            frontier = []
+            for v in sorted(inbox):
+                if dist[v] >= INF:
+                    dist[v] = depth
+                    parent[v] = min(s for s, _ in inbox[v])
+                    frontier.append(v)
+        return dist, parent
+
+
+def eccentricity_via_bfs(net: CongestNetwork, source: int) -> int:
+    """Depth of the undirected BFS from ``source`` (charged to the ledger).
+
+    Used by algorithms that need to know when a flood has quiesced; the
+    undirected support is explored, mirroring a beacon flood.
+    """
+    with net.ledger.phase(f"flood[{source}]"):
+        dist = [INF] * net.n
+        dist[source] = 0
+        frontier = [source]
+        depth = 0
+        while frontier:
+            outbox = {}
+            for u in frontier:
+                targets = [(v, 0) for v in net.neighbors(u)
+                           if dist[v] >= INF]
+                if targets:
+                    outbox[u] = targets
+            if not outbox:
+                break
+            inbox = net.exchange(outbox)
+            depth += 1
+            frontier = []
+            for v in inbox:
+                if dist[v] >= INF:
+                    dist[v] = depth
+                    frontier.append(v)
+        return depth
+
+
+def sssp_distances_weighted(
+    net: CongestNetwork,
+    source: int,
+    direction: str = "out",
+    avoid_edges: EdgeSet = _EMPTY,
+    distance_limit: Optional[int] = None,
+    phase: Optional[str] = None,
+) -> List[int]:
+    """Exact weighted SSSP by time-expanded BFS (one weight unit per round).
+
+    A message crossing an edge of weight ``w`` is delayed ``w`` rounds, so
+    after ``r`` rounds every vertex at weighted distance ≤ r is settled.
+    This is the folklore O(weighted-diameter)-round exact algorithm; it is
+    used by baselines and oracles, not by the paper's solvers (which use
+    rounding, Section 7).
+
+    Rounds consumed: the largest finite distance found (≤ distance_limit).
+    """
+    name = phase if phase is not None else f"sssp[{source}]"
+    with net.ledger.phase(name):
+        dist = [INF] * net.n
+        dist[source] = 0
+        # pending[r] = list of (vertex, dist) settling messages that become
+        # visible to neighbors at round r.
+        pending: Dict[int, List[int]] = {0: [source]}
+        clock = 0
+        horizon = 0
+        while pending:
+            if distance_limit is not None and clock > distance_limit:
+                break
+            settlers = pending.pop(clock, [])
+            outbox = {}
+            for u in settlers:
+                if dist[u] != clock:
+                    continue  # superseded by a shorter path
+                sends = []
+                for v in _next_hops(net, u, direction, avoid_edges):
+                    w = (net.weight(u, v) if direction == "out"
+                         else net.weight(v, u))
+                    if dist[u] + w < dist[v]:
+                        sends.append((v, (dist[u], w)))
+                if sends:
+                    outbox[u] = sends
+            if outbox:
+                inbox = net.exchange(outbox)
+            else:
+                inbox = {}
+                if pending:
+                    net.idle_round()
+            clock += 1
+            for v, arrivals in inbox.items():
+                for _, (du, w) in arrivals:
+                    candidate = du + w
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        arrival_round = candidate
+                        pending.setdefault(arrival_round, []).append(v)
+                        horizon = max(horizon, arrival_round)
+            if not pending and clock <= horizon:
+                break
+        return dist

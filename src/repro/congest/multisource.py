@@ -1,0 +1,137 @@
+"""k-source h-hop BFS (Lemma 5.5, after Lenzen–Patt-Shamir–Peleg [LPP19]).
+
+Every vertex learns its hop distance (up to ``hop_limit``) from each of k
+sources, in O(k + h) rounds, using the classical priority schedule: each
+vertex announces at most one (distance, source) pair per round, smallest
+pair first.  The standard argument shows the pair ranked r-th in
+lexicographic order is never delayed more than r rounds behind its BFS
+schedule, giving the O(k + h) makespan; the primitive benchmark measures
+the constant.
+
+Also provides the weighted-delay variant used to simulate BFS on the
+rounding graphs G_d of Section 7: an edge of weight w behaves like a path
+of ``delay(w)`` unit edges, so a wave crossing it advances ``delay(w)``
+hops at once.  Distances are carried explicitly in messages, so the
+schedule only affects *when* values settle, never their correctness; the
+run continues to quiescence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .network import CongestNetwork
+from .words import INF
+
+EdgeSet = FrozenSet[Tuple[int, int]]
+_EMPTY: EdgeSet = frozenset()
+
+
+def _downstream(net: CongestNetwork, u: int, direction: str,
+                avoid_edges: EdgeSet) -> List[Tuple[int, int, int]]:
+    """(neighbor, tail, head) triples one hop downstream of ``u``."""
+    if direction == "out":
+        return [(v, u, v) for v in net.out_neighbors(u)
+                if (u, v) not in avoid_edges]
+    if direction == "in":
+        return [(x, x, u) for x in net.in_neighbors(u)
+                if (x, u) not in avoid_edges]
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def multi_source_hop_bfs(
+    net: CongestNetwork,
+    sources: Sequence[int],
+    hop_limit: int,
+    direction: str = "out",
+    avoid_edges: EdgeSet = _EMPTY,
+    delay: Optional[Callable[[int], int]] = None,
+    phase: Optional[str] = None,
+    max_rounds: Optional[int] = None,
+) -> List[List[int]]:
+    """Hop-bounded BFS from ``k`` sources under the CONGEST bandwidth.
+
+    Parameters
+    ----------
+    sources:
+        The k source vertices; ranks follow this order.
+    hop_limit:
+        Distances strictly beyond this are not propagated.
+    direction:
+        ``"out"``: distance source→v along edges.  ``"in"``: distance
+        v→source (BFS in the reverse graph, as Lemma 5.6 requires).
+    delay:
+        Optional ``delay(weight) -> hops`` function; when given, crossing
+        an edge advances that many hops (BFS on the subdivided graph G_d).
+        ``None`` means unit hops regardless of weights.
+    max_rounds:
+        Safety valve; the schedule is run to quiescence otherwise.
+
+    Returns
+    -------
+    ``dist`` with ``dist[rank][v]`` = hop distance from ``sources[rank]``
+    to v (or from v to the source for ``direction="in"``), INF beyond
+    ``hop_limit``.
+    """
+    name = phase if phase is not None else "k-source-bfs"
+    k = len(sources)
+    with net.ledger.phase(name):
+        dist: List[List[int]] = [[INF] * net.n for _ in range(k)]
+        # Per-vertex priority queue of announcements not yet sent.
+        pending: List[List[Tuple[int, int]]] = [[] for _ in range(net.n)]
+        for rank, s in enumerate(sources):
+            if dist[rank][s] > 0:
+                dist[rank][s] = 0
+                heapq.heappush(pending[s], (0, rank))
+
+        rounds_used = 0
+        while True:
+            outbox: Dict[int, List[Tuple[int, object]]] = {}
+            senders: List[Tuple[int, int, int]] = []
+            for u in range(net.n):
+                queue = pending[u]
+                # Pop until a still-current announcement is found.
+                while queue:
+                    d, rank = heapq.heappop(queue)
+                    if dist[rank][u] == d:
+                        senders.append((u, rank, d))
+                        break
+            if not senders:
+                break
+            for u, rank, d in senders:
+                sends = []
+                for v, tail, head in _downstream(
+                        net, u, direction, avoid_edges):
+                    # Both endpoints know the edge weight, so the sender
+                    # can locally prune announcements that would exceed
+                    # the hop budget; it cannot (and does not) consult the
+                    # receiver's state.
+                    step = 1
+                    if delay is not None:
+                        step = delay(net.weight(tail, head))
+                    if d + step <= hop_limit:
+                        sends.append((v, ("hop", rank, d)))
+                if sends:
+                    outbox[u] = sends
+            if outbox:
+                inbox = net.exchange(outbox)
+            else:
+                net.idle_round()
+                inbox = {}
+            rounds_used += 1
+            if max_rounds is not None and rounds_used > max_rounds:
+                break
+            for v, arrivals in inbox.items():
+                for sender, (_, rank, d) in arrivals:
+                    step = 1
+                    if delay is not None:
+                        if direction == "out":
+                            step = delay(net.weight(sender, v))
+                        else:
+                            step = delay(net.weight(v, sender))
+                    candidate = d + step
+                    if candidate <= hop_limit and candidate < dist[rank][v]:
+                        dist[rank][v] = candidate
+                        heapq.heappush(pending[v], (candidate, rank))
+        return dist

@@ -1,0 +1,260 @@
+"""The synchronous CONGEST network simulator.
+
+A :class:`CongestNetwork` wraps a directed graph (the *problem* graph) and
+exposes the communication substrate the CONGEST model defines on it:
+
+* vertices are integers ``0..n-1``;
+* the communication links are the *undirected support* of the edge set —
+  in CONGEST on directed graphs, messages travel both ways along a link
+  even when the graph edge is one-way (the standard assumption, used
+  throughout the paper, e.g. for the backward BFS of Lemma 4.2);
+* in each synchronous round every vertex may send one B-word message per
+  incident link (B words ≈ O(log n) bits); the simulator counts words and
+  records the worst per-link load;
+* rounds are advanced exclusively by :meth:`exchange`, so the ledger's
+  round counter is exactly the CONGEST round complexity of the execution.
+
+Algorithms are written as ordinary Python functions that loop over rounds,
+calling ``net.exchange(outbox)`` once per round.  Local computation is free
+(the model allows unbounded local computation), but any *knowledge* a
+vertex uses must have arrived through exchanges — the test-suite's
+correctness checks compare against centralized oracles computed directly
+on the graph, which keeps the algorithms honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import (
+    BandwidthExceededError,
+    NotALinkError,
+    RoundLimitExceededError,
+    UnknownVertexError,
+)
+from .metrics import RoundLedger
+from .words import words_of
+
+Outbox = Mapping[int, Iterable[Tuple[int, object]]]
+Inbox = Dict[int, List[Tuple[int, object]]]
+
+#: Default per-link bandwidth, in words per round.  The paper's messages
+#: are O(log n) bits, i.e. a constant number of words; 8 accommodates the
+#: small tuples our primitives send while still flagging genuinely
+#: congested schedules.
+DEFAULT_BANDWIDTH_WORDS = 8
+
+
+class CongestNetwork:
+    """A directed graph together with its CONGEST communication fabric.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are ``0..n-1``.
+    edges:
+        Iterable of directed edges ``(u, v)`` or weighted edges
+        ``(u, v, w)`` with positive integer weight ``w``.
+    bandwidth_words:
+        Per-link per-round word budget.  Exceeding it either raises
+        (``strict=True``) or is recorded as a violation.
+    strict:
+        Whether bandwidth violations raise :class:`BandwidthExceededError`.
+    ledger:
+        Optional shared :class:`RoundLedger`; a fresh one is created
+        otherwise.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Sequence[int]],
+        bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
+        strict: bool = False,
+        ledger: Optional[RoundLedger] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("network needs at least one vertex")
+        self.n = n
+        self.bandwidth_words = bandwidth_words
+        self.strict = strict
+        self.ledger = ledger if ledger is not None else RoundLedger()
+        #: When True, cumulative words per directed link are recorded in
+        #: :attr:`link_totals` (used by the lower-bound cut analysis).
+        self.record_link_totals = False
+        self.link_totals: Dict[Tuple[int, int], int] = {}
+
+        self._out: List[List[int]] = [[] for _ in range(n)]
+        self._in: List[List[int]] = [[] for _ in range(n)]
+        self._weights: Dict[Tuple[int, int], int] = {}
+        neighbor_sets: List[set] = [set() for _ in range(n)]
+
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                w = 1
+            else:
+                u, v, w = edge
+            if not (0 <= u < n) or not (0 <= v < n):
+                raise UnknownVertexError(u if not (0 <= u < n) else v)
+            if u == v:
+                raise ValueError(f"self-loop at {u} is not allowed")
+            if w <= 0:
+                raise ValueError(f"edge ({u},{v}) has non-positive weight")
+            if (u, v) in self._weights:
+                continue  # ignore parallel duplicates
+            self._weights[(u, v)] = int(w)
+            self._out[u].append(v)
+            self._in[v].append(u)
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+
+        self._neighbors: List[List[int]] = [
+            sorted(s) for s in neighbor_sets
+        ]
+        self._link_set = frozenset(
+            (u, v) for u in range(n) for v in neighbor_sets[u]
+        )
+
+    # -- topology accessors --------------------------------------------------
+
+    def vertices(self) -> range:
+        return range(self.n)
+
+    def out_neighbors(self, u: int) -> List[int]:
+        """Heads of directed edges leaving ``u``."""
+        return self._out[u]
+
+    def in_neighbors(self, u: int) -> List[int]:
+        """Tails of directed edges entering ``u``."""
+        return self._in[u]
+
+    def neighbors(self, u: int) -> List[int]:
+        """Communication neighbors (undirected support)."""
+        return self._neighbors[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._weights
+
+    def has_link(self, u: int, v: int) -> bool:
+        return (u, v) in self._link_set
+
+    def weight(self, u: int, v: int) -> int:
+        return self._weights[(u, v)]
+
+    def directed_edges(self) -> Iterable[Tuple[int, int]]:
+        return self._weights.keys()
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._weights)
+
+    # -- the synchronous round primitive --------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.rounds
+
+    def exchange(self, outbox: Outbox) -> Inbox:
+        """Execute one synchronous round.
+
+        ``outbox`` maps each sending vertex to an iterable of
+        ``(receiver, payload)`` pairs.  All messages are delivered at the
+        end of the round; the returned inbox maps receivers to lists of
+        ``(sender, payload)`` pairs in a deterministic order.
+        """
+        inbox: Inbox = {}
+        link_words: Dict[Tuple[int, int], int] = {}
+        total_messages = 0
+        total_words = 0
+
+        for sender in sorted(outbox):
+            if not (0 <= sender < self.n):
+                raise UnknownVertexError(sender)
+            for receiver, payload in outbox[sender]:
+                if not (0 <= receiver < self.n):
+                    raise UnknownVertexError(receiver)
+                if (sender, receiver) not in self._link_set:
+                    raise NotALinkError(sender, receiver)
+                size = words_of(payload)
+                key = (sender, receiver)
+                link_words[key] = link_words.get(key, 0) + size
+                total_messages += 1
+                total_words += size
+                inbox.setdefault(receiver, []).append((sender, payload))
+
+        if self.record_link_totals:
+            for key, size in link_words.items():
+                self.link_totals[key] = self.link_totals.get(key, 0) + size
+
+        max_link = max(link_words.values()) if link_words else 0
+        violations = 0
+        first_overload = None
+        for (u, v), loaded in link_words.items():
+            if loaded > self.bandwidth_words:
+                violations += 1
+                if first_overload is None:
+                    first_overload = (u, v, loaded)
+
+        # The round happened on the wire either way: charge it before
+        # raising so post-mortem ledgers stay truthful.
+        self.ledger.charge_round(
+            total_messages, total_words, max_link, violations)
+        if self.strict and first_overload is not None:
+            u, v, loaded = first_overload
+            raise BandwidthExceededError(u, v, loaded,
+                                         self.bandwidth_words)
+        return inbox
+
+    def idle_round(self, count: int = 1) -> None:
+        """Advance ``count`` rounds without any communication."""
+        for _ in range(count):
+            self.ledger.charge_round(0, 0, 0)
+
+    def check_round_budget(self, limit: int, context: str = "") -> None:
+        if self.rounds > limit:
+            raise RoundLimitExceededError(limit, context)
+
+    # -- centralized helpers (free local knowledge for setup/oracles) ---------
+
+    def undirected_bfs_layers(self, root: int) -> List[int]:
+        """Hop distance from ``root`` in the communication graph.
+
+        Used for spanning-tree construction and diameter estimation; this
+        is setup machinery, not part of any algorithm's round count.
+        """
+        dist = [-1] * self.n
+        dist[root] = 0
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def undirected_diameter(self) -> int:
+        """Exact diameter of the communication graph.
+
+        O(n · m); intended for the modest instance sizes the simulator
+        targets.  Raises if the communication graph is disconnected.
+        """
+        best = 0
+        for root in range(self.n):
+            dist = self.undirected_bfs_layers(root)
+            ecc = max(dist)
+            if min(dist) < 0:
+                raise ValueError("communication graph is disconnected")
+            best = max(best, ecc)
+        return best
+
+    def undirected_eccentricity(self, root: int) -> int:
+        dist = self.undirected_bfs_layers(root)
+        if min(dist) < 0:
+            raise ValueError("communication graph is disconnected")
+        return max(dist)
+
+    def is_connected(self) -> bool:
+        return min(self.undirected_bfs_layers(0)) >= 0

@@ -1,0 +1,138 @@
+"""Pipelined sweeps along the given s-t path P.
+
+Several of the paper's subroutines are "sweeps": a token starts at one
+vertex of P, walks along consecutive path vertices, combines a carried
+value with vertex-local knowledge at every stop, and terminates at a
+target vertex (Lemmas 4.4, 5.7, 7.7, 7.8).  Running many sweeps over the
+same subpath is made cheap by pipelining: each path link carries one token
+per round, FIFO, so T tokens over an L-link subpath cost O(L + T) rounds.
+
+This module provides that engine once, congestion-checked, so every sweep
+in the repository shares the same verified schedule.
+
+Positions are indices into the path (0..h_st); a sweep with
+``start < end`` walks rightward (toward t), ``start > end`` leftward.
+Tokens may also deposit their running value at every vertex they visit
+(used by the prefix-minimum computations of Lemma 5.7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .network import CongestNetwork
+
+#: combine(position, carried) -> new carried value.  ``position`` is the
+#: path index of the vertex the token just arrived at.  The callable runs
+#: as *local computation* of that vertex, so it may consult any knowledge
+#: that vertex holds.
+CombineFn = Callable[[int, object], object]
+
+
+@dataclass
+class SweepTask:
+    """One token to route along the path.
+
+    Attributes
+    ----------
+    key:
+        Caller-chosen identifier for reading results back.
+    start, end:
+        Path positions; the token departs ``start`` carrying ``init`` and
+        is combined at every subsequent position up to and including
+        ``end``.
+    init:
+        The value leaving the start vertex (computed locally there).
+    combine:
+        Per-visit local update.
+    deposit:
+        When True, the value *after* combining is recorded at every
+        visited position (including ``start`` with the raw ``init``).
+    """
+
+    key: Hashable
+    start: int
+    end: int
+    init: object
+    combine: CombineFn
+    deposit: bool = False
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: the final value and optional per-stop trace."""
+
+    key: Hashable
+    final: object
+    trace: Dict[int, object] = field(default_factory=dict)
+
+
+def run_path_sweeps(
+    net: CongestNetwork,
+    path: Sequence[int],
+    tasks: Sequence[SweepTask],
+    phase: Optional[str] = None,
+) -> Dict[Hashable, SweepResult]:
+    """Run all sweeps concurrently with per-link FIFO pipelining.
+
+    Rounds consumed: the makespan of the FIFO schedule, which is
+    O(max sweep length + max tokens per link); the congestion accounting
+    of the network confirms one token (a constant number of words) per
+    link per round.
+    """
+    name = phase if phase is not None else "path-sweeps"
+    results: Dict[Hashable, SweepResult] = {}
+    if not tasks:
+        return results
+    with net.ledger.phase(name):
+        hops = len(path) - 1
+        # Directed link queues keyed by (position, direction); direction
+        # +1 moves token from path[p] to path[p+1].
+        queues: Dict[Tuple[int, int], deque] = {}
+
+        def enqueue(task: SweepTask, position: int, value: object) -> None:
+            direction = 1 if task.end > task.start else -1
+            queues.setdefault((position, direction), deque()).append(
+                (task, position + direction, value))
+
+        for task in tasks:
+            if not (0 <= task.start <= hops and 0 <= task.end <= hops):
+                raise ValueError(
+                    f"sweep {task.key!r} leaves the path bounds")
+            result = SweepResult(key=task.key, final=task.init)
+            if task.deposit:
+                result.trace[task.start] = task.init
+            results[task.key] = result
+            if task.start == task.end:
+                continue
+            enqueue(task, task.start, task.init)
+
+        pending = sum(len(q) for q in queues.values())
+        while pending:
+            outbox: Dict[int, List[Tuple[int, object]]] = {}
+            moves: List[Tuple[SweepTask, int, object]] = []
+            for (pos, direction), queue in sorted(queues.items()):
+                if not queue:
+                    continue
+                task, nxt, value = queue.popleft()
+                sender = path[pos]
+                receiver = path[nxt]
+                # One token per link per round; a token's wire format is
+                # (sweep id, carried value) — a constant number of words.
+                outbox.setdefault(sender, []).append(
+                    (receiver, ("sweep", value)))
+                moves.append((task, nxt, value))
+            net.exchange(outbox)
+            for task, position, value in moves:
+                value = task.combine(position, value)
+                result = results[task.key]
+                if task.deposit:
+                    result.trace[position] = value
+                if position == task.end:
+                    result.final = value
+                else:
+                    enqueue(task, position, value)
+            pending = sum(len(q) for q in queues.values())
+    return results

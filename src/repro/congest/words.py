@@ -1,0 +1,71 @@
+"""Message-size accounting in O(log n)-bit words.
+
+The CONGEST model allows each vertex to send an O(log n)-bit message to
+each neighbor per round.  We account message sizes in *words*, where one
+word is one O(log n)-bit field: an integer of magnitude poly(n), a vertex
+identifier, a distance, or an index.  A message that is a tuple of k such
+fields costs k words.
+
+The accounting is intentionally simple and conservative:
+
+* ``None`` costs 0 words (absence of a message),
+* ``int`` / ``float`` / ``bool`` cost 1 word,
+* strings cost 1 word per 8 characters (identifiers/labels),
+* tuples and lists cost the sum of their fields,
+* dicts cost the sum over key/value pairs.
+
+Infinities (the ``INF`` sentinel used for "unreachable") cost one word: a
+real implementation would reserve one bit pattern for them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+#: Sentinel for "unreachable" distances.  A plain large int (not float inf)
+#: so that sums of a few INFs stay well-ordered and hashable; callers
+#: compare with ``>= INF`` via :func:`is_unreachable`.
+INF = 1 << 60
+
+
+def is_unreachable(value: Any) -> bool:
+    """Return True when ``value`` denotes an unreachable distance."""
+    if value is None:
+        return True
+    try:
+        return value >= INF
+    except TypeError:
+        return False
+
+
+def clamp_inf(value: int) -> int:
+    """Collapse any value at or beyond INF back to the INF sentinel.
+
+    Sums like ``INF + d`` are still "unreachable"; clamping keeps reported
+    distances canonical.
+    """
+    return INF if value >= INF else value
+
+
+def words_of(payload: Any) -> int:
+    """Number of O(log n)-bit words needed to encode ``payload``."""
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 1
+    if isinstance(payload, Fraction):
+        # Exact rounded lengths h·μ_d: a real implementation would send
+        # the integer hop count plus the scale index, i.e. two words.
+        return 2
+    if isinstance(payload, str):
+        return max(1, (len(payload) + 7) // 8)
+    if isinstance(payload, (tuple, list)):
+        return sum(words_of(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(words_of(k) + words_of(v) for k, v in payload.items())
+    if isinstance(payload, (set, frozenset)):
+        return sum(words_of(item) for item in payload)
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")

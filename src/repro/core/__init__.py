@@ -1,0 +1,56 @@
+"""The paper's primary contribution: exact RPaths for unweighted directed
+graphs in Õ(n^{2/3} + D) rounds (Theorem 1) and 2-SiSP (Corollary 6.2)."""
+
+from .knowledge import (
+    PathKnowledge,
+    acquire_path_knowledge,
+    oracle_knowledge,
+)
+from .hop_bfs import pruned_max_hop_bfs
+from .short_detour import short_detour_lengths, x_geq_from_table
+from .landmarks import (
+    expected_landmark_count,
+    landmark_probability,
+    sample_landmarks,
+    segment_hits_landmark,
+)
+from .landmark_distances import (
+    LandmarkDistances,
+    compute_landmark_distances,
+    landmark_closure,
+)
+from .segments import (
+    checkpoint_positions,
+    finish_distance_tables,
+    prefix_min_to_landmarks,
+    suffix_min_from_landmarks,
+)
+from .long_detour import long_detour_lengths
+from .rpaths import RPathsReport, default_zeta, solve_rpaths
+from .two_sisp import TwoSispReport, solve_two_sisp
+
+__all__ = [
+    "LandmarkDistances",
+    "PathKnowledge",
+    "RPathsReport",
+    "TwoSispReport",
+    "acquire_path_knowledge",
+    "checkpoint_positions",
+    "compute_landmark_distances",
+    "default_zeta",
+    "expected_landmark_count",
+    "finish_distance_tables",
+    "landmark_closure",
+    "landmark_probability",
+    "long_detour_lengths",
+    "oracle_knowledge",
+    "prefix_min_to_landmarks",
+    "pruned_max_hop_bfs",
+    "sample_landmarks",
+    "segment_hits_landmark",
+    "short_detour_lengths",
+    "solve_rpaths",
+    "solve_two_sisp",
+    "suffix_min_from_landmarks",
+    "x_geq_from_table",
+]

@@ -1,0 +1,174 @@
+"""Lemma 2.5 — acquiring indices and path distances in Õ(√n + D) rounds.
+
+The solvers' minimal initial knowledge (Section 2) is: both endpoints of
+every P-edge know the edge is on P (hence every P-vertex knows its P
+predecessor/successor), s knows it is the source, t the target.  The
+algorithms of Theorems 1 and 3 additionally need every v_i to know its
+index i, its distance from s, and its distance to t.  Lemma 2.5 supplies
+these in Õ(√n + D) rounds:
+
+1. sample each P-vertex with probability 1/√n (s and t force-included so
+   the chain is anchored);
+2. flood rightward along P from every sampled vertex, carrying
+   (origin, hops, weighted distance) and stopping at the next sampled
+   vertex — O(max gap) = O(√n log n) rounds w.h.p.;
+3. every sampled vertex broadcasts the (predecessor, gap hops, gap
+   weight) record it learned — O(#sampled + D) = O(√n + D) rounds by
+   Lemma 2.4;
+4. every vertex chains the broadcast records from s, then adds its local
+   offset, obtaining i, dist(s, v_i) and dist(v_i, t).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..congest.broadcast import broadcast_messages
+from ..congest.network import CongestNetwork
+from ..congest.spanning_tree import SpanningTree, build_spanning_tree
+from ..graphs.instance import RPathsInstance
+
+
+@dataclass
+class PathKnowledge:
+    """What each P-vertex knows after the Lemma 2.5 preprocessing.
+
+    All arrays are indexed by *path position* i ∈ [0, h_st]; entry i is
+    the knowledge held by v_i.  ``position_of`` inverts path vertex id to
+    its index.
+    """
+
+    path: List[int]
+    dist_from_s: List[int]
+    dist_to_t: List[int]
+    position_of: Dict[int, int]
+    #: Rounds the acquisition used (also charged to the shared ledger).
+    rounds_used: int = 0
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def total_length(self) -> int:
+        return self.dist_from_s[-1]
+
+
+def oracle_knowledge(instance: RPathsInstance) -> PathKnowledge:
+    """The Lemma 2.5 output computed centrally, free of rounds.
+
+    Unit tests of downstream stages use this to isolate failures; the
+    end-to-end solvers run :func:`acquire_path_knowledge` instead.
+    """
+    pre = instance.path_prefix_weights()
+    total = pre[-1]
+    return PathKnowledge(
+        path=list(instance.path),
+        dist_from_s=pre,
+        dist_to_t=[total - x for x in pre],
+        position_of={v: i for i, v in enumerate(instance.path)},
+    )
+
+
+def acquire_path_knowledge(
+    instance: RPathsInstance,
+    net: CongestNetwork,
+    tree: Optional[SpanningTree] = None,
+    seed: int = 0,
+    sample_rate: Optional[float] = None,
+) -> PathKnowledge:
+    """Run the Lemma 2.5 algorithm on the network and return the result.
+
+    The returned object is the *union* of per-vertex knowledge, which the
+    simulator can hand back to later phases; each entry was genuinely
+    derived from messages the owning vertex received.
+    """
+    rng = random.Random(seed)
+    path = list(instance.path)
+    h = len(path) - 1
+    weights = instance.edge_weight_map()
+    start_rounds = net.rounds
+
+    with net.ledger.phase("knowledge(L2.5)"):
+        if sample_rate is None:
+            sample_rate = 1.0 / max(1.0, instance.n ** 0.5)
+        sampled = [i for i in range(h + 1)
+                   if i in (0, h) or rng.random() < sample_rate]
+        sampled_set = set(sampled)
+
+        # -- step 2: rightward flood along P from each sampled vertex.
+        # token at position p carries (origin position's vertex id, hops,
+        # weighted dist from the origin).  Each vertex learns the record
+        # of its nearest sampled predecessor.
+        from_left: Dict[int, tuple] = {}
+        tokens = [(i, path[i], 0, 0) for i in sampled if i < h]
+        while tokens:
+            outbox: Dict[int, list] = {}
+            moves = []
+            for pos, origin, hops, dist in tokens:
+                nxt = pos + 1
+                w = weights[(path[pos], path[nxt])]
+                outbox.setdefault(path[pos], []).append(
+                    (path[nxt], ("chain", origin, hops + 1, dist + w)))
+                moves.append((nxt, origin, hops + 1, dist + w))
+            net.exchange(outbox)
+            tokens = []
+            for pos, origin, hops, dist in moves:
+                from_left[pos] = (origin, hops, dist)
+                if pos not in sampled_set and pos < h:
+                    tokens.append((pos, origin, hops, dist))
+                # tokens stop at sampled vertices (they record only).
+
+        # -- step 3: sampled vertices broadcast their chain records.
+        if tree is None:
+            tree = build_spanning_tree(net)
+        messages = {}
+        for i in sampled:
+            if i == 0:
+                messages[path[i]] = [("anchor", path[i])]
+            else:
+                origin, hops, dist = from_left[i]
+                messages[path[i]] = [("link", path[i], origin, hops, dist)]
+        records = broadcast_messages(net, tree, messages,
+                                     phase="knowledge-broadcast")
+
+        # -- step 4: local chain reconstruction (free local computation,
+        # identical at every vertex since all received the same records).
+        next_of: Dict[int, tuple] = {}
+        anchor = None
+        for _, payload in records:
+            if payload[0] == "anchor":
+                anchor = payload[1]
+            else:
+                _, vertex, origin, hops, dist = payload
+                next_of[origin] = (vertex, hops, dist)
+        assert anchor == path[0]
+        index_of_sampled: Dict[int, tuple] = {anchor: (0, 0)}
+        cursor, idx, acc = anchor, 0, 0
+        while cursor in next_of:
+            vertex, hops, dist = next_of[cursor]
+            idx += hops
+            acc += dist
+            index_of_sampled[vertex] = (idx, acc)
+            cursor = vertex
+
+        dist_from_s = [0] * (h + 1)
+        for i in range(h + 1):
+            if path[i] in index_of_sampled and i in sampled_set:
+                idx, acc = index_of_sampled[path[i]]
+                dist_from_s[i] = acc
+            else:
+                origin, hops, dist = from_left[i]
+                idx0, acc0 = index_of_sampled[origin]
+                dist_from_s[i] = acc0 + dist
+        total = dist_from_s[h]
+        knowledge = PathKnowledge(
+            path=path,
+            dist_from_s=dist_from_s,
+            dist_to_t=[total - x for x in dist_from_s],
+            position_of={v: i for i, v in enumerate(path)},
+        )
+    knowledge.rounds_used = net.rounds - start_rounds
+    return knowledge

@@ -1,0 +1,90 @@
+"""Proposition 5.1 — long-detour replacement paths in Õ(n^{2/3} + D) rounds.
+
+Pipeline (all stages charged to the shared ledger):
+
+1. sample landmarks L (Definition 5.2);
+2. hop-bounded k-source BFS from L in G \\ P, forward and backward, then
+   the |L|² pair broadcast and local closure (Lemmas 5.4–5.6);
+3. segment prefix/suffix sweeps along P plus the segment-summary
+   broadcast (Lemmas 5.7–5.9);
+4. each v_i finishes locally:
+       x_i = min_{l ∈ L} ( |s l ⋄ P[v_i, t]| + |l t ⋄ P[s, v_{i+1}]| ),
+   which is exactly the best replacement length over s-t paths that avoid
+   (v_i, v_{i+1}) and visit a landmark — an upper bound on |st ⋄ e|
+   always, and equal to the best *long-detour* replacement w.h.p.
+   (every long detour contains a landmark, Lemma 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..congest.network import CongestNetwork
+from ..congest.spanning_tree import SpanningTree
+from ..congest.words import INF, clamp_inf
+from ..graphs.instance import RPathsInstance
+from .knowledge import PathKnowledge
+from .landmark_distances import compute_landmark_distances
+from .landmarks import sample_landmarks
+from .segments import (
+    checkpoint_positions,
+    finish_distance_tables,
+    prefix_min_to_landmarks,
+    suffix_min_from_landmarks,
+)
+
+
+def long_detour_lengths(
+    instance: RPathsInstance,
+    net: CongestNetwork,
+    tree: SpanningTree,
+    knowledge: PathKnowledge,
+    zeta: int,
+    landmarks: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    landmark_c: float = 2.0,
+    phase: str = "long-detour(P5.1)",
+) -> List[int]:
+    """Proposition 5.1.  Returns ``x[i]`` for every path edge i.
+
+    ``x[i]`` ≥ |st ⋄ e_i| always (validity), and ``x[i]`` ≤ the best
+    long-detour replacement length w.h.p. (approximation); the caller
+    takes the min with the short-detour output (Theorem 1).
+    """
+    h = knowledge.hop_count
+    with net.ledger.phase(phase):
+        if landmarks is None:
+            landmarks = sample_landmarks(
+                instance.n, zeta, c=landmark_c, seed=seed)
+        landmarks = sorted(set(landmarks))
+        if not landmarks:
+            return [INF] * h
+
+        distances = compute_landmark_distances(
+            net, tree, landmarks,
+            hop_limit=zeta,
+            avoid_edges=instance.path_edge_set(),
+        )
+
+        segment_len = max(1, math.ceil(instance.n ** (2.0 / 3.0)))
+        checkpoints = checkpoint_positions(h, segment_len)
+        prefix_table = prefix_min_to_landmarks(
+            net, knowledge, distances, checkpoints)
+        suffix_table = suffix_min_from_landmarks(
+            net, knowledge, distances, checkpoints)
+        tables = finish_distance_tables(
+            net, tree, knowledge, distances, checkpoints,
+            prefix_table, suffix_table)
+        m_final, n_final = tables["M"], tables["N"]
+
+        k = distances.count
+        out = []
+        for i in range(h):
+            best = INF
+            for j in range(k):
+                candidate = m_final[j][i] + n_final[j][i]
+                if candidate < best:
+                    best = candidate
+            out.append(clamp_inf(best))
+        return out

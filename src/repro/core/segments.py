@@ -1,0 +1,216 @@
+"""Checkpoints and segment pipelining — Lemmas 5.7, 5.8, 5.9.
+
+P is cut into segments of ⌈n^{2/3}⌉ edges by *checkpoints*
+C = {v_0, v_⌈n^{2/3}⌉, v_2⌈n^{2/3}⌉, ..., t}.  Within each segment, a
+pipelined prefix-minimum sweep per landmark computes the localized
+
+    M^g[l_j, v] = min_{u : c_g ≤_P u ≤_P v} ( |su| + |u l_j|_{G\\P} )
+
+in O(segment length + |L|) rounds (Lemma 5.7); every segment's full
+value M^g[l_j, c_{g+1}] is then broadcast — Õ(n^{1/3}·n^{1/3}) = Õ(n^{2/3})
+messages (Lemma 5.8) — and each v_i finishes locally:
+
+    |s l_j ⋄ P[v_i, t]| = min( M^g[l_j, v_i],  min_{x < g} M^x[l_j, c_{x+1}] ).
+
+Lemma 5.9 is the mirror image on the reverse graph for
+|l_j t ⋄ P[s, v_{i+1}]|, with the result shifted one hop from v_{i+1} to
+v_i at the end (O(|L|) pipelined rounds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..congest.broadcast import broadcast_messages
+from ..congest.network import CongestNetwork
+from ..congest.pipeline import SweepTask, run_path_sweeps
+from ..congest.spanning_tree import SpanningTree
+from ..congest.words import INF, clamp_inf
+from .knowledge import PathKnowledge
+from .landmark_distances import LandmarkDistances
+
+
+def checkpoint_positions(hop_count: int, segment_len: int) -> List[int]:
+    """Checkpoint indices 0, seg, 2·seg, ..., h_st (t always last)."""
+    if segment_len < 1:
+        raise ValueError("segment length must be positive")
+    positions = list(range(0, hop_count, segment_len)) + [hop_count]
+    return positions
+
+
+def prefix_min_to_landmarks(
+    net: CongestNetwork,
+    knowledge: PathKnowledge,
+    distances: LandmarkDistances,
+    checkpoints: Sequence[int],
+    phase: str = "segment-prefix(L5.7)",
+) -> List[List[Dict[int, int]]]:
+    """Lemma 5.7 — M^g[l_j, v] for every segment g, landmark j, and v.
+
+    Returns ``M[g][j]`` = {position: value} over positions in segment g.
+    One pipelined sweep per (segment, landmark), all concurrent.
+    """
+    path = knowledge.path
+    k = distances.count
+    tasks = []
+    for g in range(len(checkpoints) - 1):
+        left, right = checkpoints[g], checkpoints[g + 1]
+        for j in range(k):
+            def combine(pos: int, value: int, j: int = j) -> int:
+                local = clamp_inf(
+                    knowledge.dist_from_s[pos]
+                    + distances.to_landmark[j][path[pos]])
+                return min(value, local)
+
+            init = clamp_inf(
+                knowledge.dist_from_s[left]
+                + distances.to_landmark[j][path[left]])
+            tasks.append(SweepTask(
+                key=("M", g, j), start=left, end=right,
+                init=init, combine=combine, deposit=True))
+    results = run_path_sweeps(net, path, tasks, phase=phase)
+    table: List[List[Dict[int, int]]] = []
+    for g in range(len(checkpoints) - 1):
+        table.append([results[("M", g, j)].trace for j in range(k)])
+    return table
+
+
+def suffix_min_from_landmarks(
+    net: CongestNetwork,
+    knowledge: PathKnowledge,
+    distances: LandmarkDistances,
+    checkpoints: Sequence[int],
+    phase: str = "segment-suffix(L5.9)",
+) -> List[List[Dict[int, int]]]:
+    """Lemma 5.9's segment stage — the suffix-minimum mirror of Lemma 5.7.
+
+    ``N[g][j]`` = {position: min_{u : pos ≤_P u ≤_P c_{g+1}}
+                   ( |l_j u|_{G\\P} + |ut| )} over positions in segment g.
+    """
+    path = knowledge.path
+    k = distances.count
+    tasks = []
+    for g in range(len(checkpoints) - 1):
+        left, right = checkpoints[g], checkpoints[g + 1]
+        for j in range(k):
+            def combine(pos: int, value: int, j: int = j) -> int:
+                local = clamp_inf(
+                    distances.from_landmark[j][path[pos]]
+                    + knowledge.dist_to_t[pos])
+                return min(value, local)
+
+            init = clamp_inf(
+                distances.from_landmark[j][path[right]]
+                + knowledge.dist_to_t[right])
+            tasks.append(SweepTask(
+                key=("N", g, j), start=right, end=left,
+                init=init, combine=combine, deposit=True))
+    results = run_path_sweeps(net, path, tasks, phase=phase)
+    table: List[List[Dict[int, int]]] = []
+    for g in range(len(checkpoints) - 1):
+        table.append([results[("N", g, j)].trace for j in range(k)])
+    return table
+
+
+def finish_distance_tables(
+    net: CongestNetwork,
+    tree: SpanningTree,
+    knowledge: PathKnowledge,
+    distances: LandmarkDistances,
+    checkpoints: Sequence[int],
+    prefix_table: List[List[Dict[int, int]]],
+    suffix_table: List[List[Dict[int, int]]],
+    phase: str = "segment-combine(L5.8/5.9)",
+) -> Dict[str, List[List[int]]]:
+    """Broadcast segment summaries and finish Lemmas 5.8 / 5.9 locally.
+
+    Returns ``{"M": M, "N": N}`` with
+    ``M[j][i]`` = |s l_j ⋄ P[v_i, t]|  (detour leaves at or before v_i),
+    ``N[j][i]`` = |l_j t ⋄ P[s, v_{i+1}]|  (detour rejoins at or after
+    v_{i+1}), both stored at v_i for i ∈ [0, h_st − 1]; the one-hop shift
+    of N from v_{i+1} to v_i costs |L| pipelined rounds.
+    """
+    path = knowledge.path
+    h = knowledge.hop_count
+    k = distances.count
+    num_segments = len(checkpoints) - 1
+    with net.ledger.phase(phase):
+        # Broadcast the full-segment values (Lemma 5.8's O(ℓ·|L|) words).
+        messages: Dict[int, list] = {}
+        for g in range(num_segments):
+            left, right = checkpoints[g], checkpoints[g + 1]
+            origin_m = path[right]
+            origin_n = path[left]
+            for j in range(k):
+                messages.setdefault(origin_m, []).append(
+                    ("Mseg", g, j, prefix_table[g][j][right]))
+                messages.setdefault(origin_n, []).append(
+                    ("Nseg", g, j, suffix_table[g][j][left]))
+        records = broadcast_messages(net, tree, messages,
+                                     phase="segment-broadcast(L2.4)")
+        m_seg = [[INF] * k for _ in range(num_segments)]
+        n_seg = [[INF] * k for _ in range(num_segments)]
+        for _, payload in records:
+            tag, g, j, value = payload
+            if tag == "Mseg":
+                m_seg[g][j] = value
+            else:
+                n_seg[g][j] = value
+
+        # Prefix/suffix minima over whole segments (local, via broadcast
+        # data known at every vertex).
+        m_before = [[INF] * k for _ in range(num_segments)]
+        for g in range(1, num_segments):
+            for j in range(k):
+                m_before[g][j] = min(m_before[g - 1][j], m_seg[g - 1][j])
+        n_after = [[INF] * k for _ in range(num_segments)]
+        for g in range(num_segments - 2, -1, -1):
+            for j in range(k):
+                n_after[g][j] = min(n_after[g + 1][j], n_seg[g + 1][j])
+
+        segment_of = _segment_of_positions(checkpoints, h)
+
+        m_final = [[INF] * h for _ in range(k)]
+        for i in range(h):
+            g = segment_of[i]
+            for j in range(k):
+                m_final[j][i] = min(
+                    prefix_table[g][j][i], m_before[g][j])
+
+        # N is naturally available at v_{i+1}; compute it there, then
+        # shift one hop left, pipelining the |L| values per edge.
+        n_at_vertex = [[INF] * (h + 1) for _ in range(k)]
+        for pos in range(1, h + 1):
+            # v_{i+1} with i+1 == pos serves the edge i = pos−1, which
+            # lies in segment segment_of[pos−1]; that segment's suffix
+            # trace contains position pos.
+            g = segment_of[pos - 1]
+            for j in range(k):
+                n_at_vertex[j][pos] = min(
+                    suffix_table[g][j].get(pos, INF), n_after[g][j])
+
+        with net.ledger.phase("N-shift"):
+            n_final = [[INF] * h for _ in range(k)]
+            for j in range(k):
+                outbox: Dict[int, list] = {}
+                for pos in range(1, h + 1):
+                    outbox.setdefault(path[pos], []).append(
+                        (path[pos - 1], ("Nshift", j,
+                                         n_at_vertex[j][pos])))
+                net.exchange(outbox)
+                for i in range(h):
+                    n_final[j][i] = n_at_vertex[j][i + 1]
+        return {"M": m_final, "N": n_final}
+
+
+def _segment_of_positions(checkpoints: Sequence[int],
+                          hop_count: int) -> List[int]:
+    """segment_of[i] = index g of the segment containing edge
+    (v_i, v_{i+1}), i.e. c_g ≤ i < i+1 ≤ c_{g+1}."""
+    segment_of = [0] * hop_count
+    g = 0
+    for i in range(hop_count):
+        while i >= checkpoints[g + 1]:
+            g += 1
+        segment_of[i] = g
+    return segment_of

@@ -1,0 +1,20 @@
+"""Problem instances and generators for replacement-paths experiments."""
+
+from .instance import RPathsInstance, instance_from_edges
+from .generators import (
+    double_path_instance,
+    grid_instance,
+    layered_instance,
+    path_with_chords_instance,
+    random_instance,
+)
+
+__all__ = [
+    "RPathsInstance",
+    "double_path_instance",
+    "grid_instance",
+    "instance_from_edges",
+    "layered_instance",
+    "path_with_chords_instance",
+    "random_instance",
+]

@@ -1,0 +1,85 @@
+"""Empirical view of the simulation lemma (Lemmas 6.4 / 6.7).
+
+The lower-bound argument hinges on a counting fact: when an algorithm on
+G(k, d, p, φ, M, x) runs for T rounds, at most O(d^p · B · T) bits cross
+between Alice's side (P*, Q, R, α and the left of the structure) and
+Bob's side (the bipartite gadget and β) — either along the 2k long paths
+(dilation) or through the tree (congestion).  Deciding disjointness
+needs Ω(k²) bits to cross, so T = Ω̃(k² / d^p) = Ω̃(n^{2/3}).
+
+``measure_cut_traffic`` runs a distributed solver with per-link word
+recording switched on and reports how many words actually crossed a cut
+of the hard instance, alongside the k² bits the output encodes — the
+observable trace of the bottleneck the lemma formalizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..congest.network import CongestNetwork
+from .hard_instance import HardInstance
+
+
+@dataclass
+class CutTrafficReport:
+    """Words observed crossing a vertex cut during an execution."""
+
+    rounds: int
+    crossing_words: int
+    crossing_links: int
+    total_words: int
+    payload_bits: int  # the k² bits the problem output must encode
+
+    @property
+    def words_per_round(self) -> float:
+        return self.crossing_words / max(1, self.rounds)
+
+
+def bipartite_cut(hard: HardInstance) -> Set[int]:
+    """Alice's vertex side for the Lemma 6.7 partition.
+
+    Everything except the last column of the long paths, the bipartite
+    endpoints, and β — i.e. cutting just before the far end, where the
+    paper's simulation places Bob.
+    """
+    width = hard.d ** hard.p
+    bob: Set[int] = set()
+    for name, vertex in hard.id_of.items():
+        kind = name[0]
+        if kind in ("v", "w") and name[2] == width - 1:
+            bob.add(vertex)
+    bob.add(hard.beta)
+    return set(range(hard.n)) - bob
+
+
+def measure_cut_traffic(
+    hard: HardInstance,
+    run: Callable[[CongestNetwork], None],
+    alice_side: Sequence[int] = (),
+) -> CutTrafficReport:
+    """Execute ``run`` on a fresh network with link recording and report
+    the words that crossed the Alice/Bob cut.
+
+    ``run`` receives the instrumented network and must execute the
+    algorithm on it (e.g. a closure invoking the RPaths phases).
+    """
+    alice: Set[int] = set(alice_side) or bipartite_cut(hard)
+    net = hard.instance.build_network()
+    net.record_link_totals = True
+    run(net)
+
+    crossing_words = 0
+    crossing_links = 0
+    for (u, v), words in net.link_totals.items():
+        if (u in alice) != (v in alice):
+            crossing_words += words
+            crossing_links += 1
+    return CutTrafficReport(
+        rounds=net.rounds,
+        crossing_words=crossing_words,
+        crossing_links=crossing_links,
+        total_words=net.ledger.words,
+        payload_bits=hard.k * hard.k,
+    )

@@ -1,0 +1,83 @@
+"""The Ω(D) part of Theorem 2 — the two-parallel-paths construction.
+
+From the proof of Theorem 2: two directed s-t paths, one of length D and
+one of length D+1, where zero or one edge of the longer path may be
+reversed.  The second simple shortest path length is D+1 when no edge is
+reversed and ∞ otherwise; distinguishing the two cases requires
+information to travel Ω(D) hops.  A clique can be attached to pad the
+construction to any n ≥ 2D + 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..congest.errors import InvalidInstanceError
+from ..congest.words import INF
+from ..graphs.instance import RPathsInstance
+
+
+def build_diameter_instance(
+    diameter: int,
+    reversed_edge: Optional[int] = None,
+    pad_to: Optional[int] = None,
+) -> RPathsInstance:
+    """The Theorem 2 Ω(D) graph.
+
+    Parameters
+    ----------
+    diameter:
+        D — the short path's edge count (the long path has D+1).
+    reversed_edge:
+        Index in [0, D] of the long-path edge to flip, or None.  Any flip
+        makes the second path unusable, so 2-SiSP jumps from D+1 to ∞.
+    pad_to:
+        Optionally attach a clique to reach n ≥ 2D+1 vertices.
+    """
+    if diameter < 2:
+        raise ValueError("need D ≥ 2")
+    short = list(range(diameter + 1))
+    s, t = short[0], short[-1]
+    n = diameter + 1
+    long_chain = [s] + list(range(n, n + diameter)) + [t]
+    n += diameter
+
+    edges: List[Tuple[int, int]] = list(zip(short, short[1:]))
+    for idx, (u, v) in enumerate(zip(long_chain, long_chain[1:])):
+        if reversed_edge is not None and idx == reversed_edge:
+            edges.append((v, u))
+        else:
+            edges.append((u, v))
+
+    if pad_to is not None:
+        if pad_to < n:
+            raise InvalidInstanceError("pad_to smaller than base graph")
+        # Clique attached to the first long-chain vertex; edges oriented
+        # away from the chain so no new s-t routes appear.
+        anchor = long_chain[1]
+        clique = list(range(n, pad_to))
+        n = pad_to
+        prev = anchor
+        for v in clique:
+            edges.append((prev, v))
+            prev = v
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                if (u, v) not in (e for e in edges):
+                    edges.append((u, v))
+
+    instance = RPathsInstance(
+        n=n,
+        edges=[(u, v, 1) for u, v in sorted(set(edges))],
+        path=short,
+        weighted=False,
+        name=f"omega-D(D={diameter},rev={reversed_edge})",
+    )
+    instance.validate()
+    return instance
+
+
+def expected_two_sisp(diameter: int,
+                      reversed_edge: Optional[int]) -> int:
+    """The construction's ground truth: D+1, or ∞ after any flip."""
+    return diameter + 1 if reversed_edge is None else INF

@@ -1,0 +1,70 @@
+"""Section 6.1 — set disjointness and two-party protocols.
+
+disj_b(x, y) = 1 iff ⟨x, y⟩ = 0.  The classical fact (used black-box by
+Lemma 6.5) is R^{cc-pub}_ε(disj_b) = Ω(b); we expose the function, a
+protocol abstraction with exact bit accounting, and the trivial
+b-bit upper-bound protocol, so the reduction experiments can report
+"bits that crossed" against the Ω(b) yardstick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+
+def inner_product(x: Sequence[int], y: Sequence[int]) -> int:
+    """⟨x, y⟩ = Σ x_i·y_i — zero exactly when the supports are disjoint."""
+    if len(x) != len(y):
+        raise ValueError("inputs must have equal length")
+    return sum(a * b for a, b in zip(x, y))
+
+
+def disjointness(x: Sequence[int], y: Sequence[int]) -> int:
+    """disj_b(x, y) — 1 when the supports are disjoint, else 0."""
+    return 1 if inner_product(x, y) == 0 else 0
+
+
+@dataclass
+class Transcript:
+    """Bit-exact record of a two-party protocol run."""
+
+    messages: List[Tuple[str, str]] = field(default_factory=list)
+
+    def send(self, who: str, bits: str) -> None:
+        if set(bits) - {"0", "1"}:
+            raise ValueError("messages must be bit strings")
+        self.messages.append((who, bits))
+
+    @property
+    def total_bits(self) -> int:
+        return sum(len(bits) for _, bits in self.messages)
+
+    @property
+    def alice_bits(self) -> int:
+        return sum(len(b) for w, b in self.messages if w == "alice")
+
+    @property
+    def bob_bits(self) -> int:
+        return sum(len(b) for w, b in self.messages if w == "bob")
+
+
+class TrivialDisjointnessProtocol:
+    """Alice ships x wholesale; Bob answers with one bit.
+
+    Communication b + 1 bits — the matching upper bound to the Ω(b)
+    lower bound the simulation lemma leans on.
+    """
+
+    def run(self, x: Sequence[int], y: Sequence[int]
+            ) -> Tuple[int, Transcript]:
+        transcript = Transcript()
+        transcript.send("alice", "".join(str(int(b)) for b in x))
+        answer = disjointness(x, y)
+        transcript.send("bob", str(answer))
+        return answer, transcript
+
+
+def disjointness_lower_bound_bits(b: int) -> int:
+    """The Ω(b) yardstick (up to the unstated constant): b bits."""
+    return b

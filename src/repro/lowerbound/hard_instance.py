@@ -1,0 +1,215 @@
+"""Section 6.3 — the hard instance G(k, d, p, φ) and its directed
+version G(k, d, p, φ, M, x).
+
+The construction (Figure 2) augments G(2k, d, p) with:
+
+* the given s-t path P* = (s_0, ..., s_{k²});
+* k "outbound" paths Q^ℓ and k "return" paths R^ℓ of 2k² edges each;
+* a complete bipartite gadget on the far ends {v^1..v^k} × {w^1..w^k}
+  whose edge *orientations* encode Bob's k² bits (the matrix M);
+* optional exits (s_{i−1} → q^{φ₁(i)}_{2(i−1)}) encoding Alice's bits x;
+* fixed re-entries (r^{φ₂(i)}_{2i} → s_i);
+* edges α → every vertex of P*, Q^ℓ, R^ℓ (keeping the diameter 2p+2
+  without creating alternative s-t routes — nothing points *into* the
+  tree, so the tree is unreachable from s).
+
+Lemma 6.8: the replacement path for (s_{i−1}, s_i) has the globally
+minimal length iff x_i = 1 and M_{φ(i)} = 1; otherwise it is strictly
+longer.  The closed-form optimum is
+
+    L_opt(k, d, p) = 3k² + 2·d^p + 4,
+
+counted edge-by-edge along the green path of Figure 2 (the paper's prose
+states 3k² + 2d^p + 6; our exhaustive verification —
+tests/test_lowerbound_correspondence.py — confirms the +4 count, a
+constant-only discrepancy that leaves every claim of Section 6 intact;
+see EXPERIMENTS.md E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..congest.errors import InvalidInstanceError
+from ..graphs.instance import RPathsInstance
+
+Name = Tuple
+
+
+def lexicographic_phi(k: int) -> Callable[[int], Tuple[int, int]]:
+    """The default bijection φ : [k²] → [k] × [k] (1-indexed, row-major)."""
+
+    def phi(i: int) -> Tuple[int, int]:
+        if not 1 <= i <= k * k:
+            raise ValueError(f"phi argument {i} outside [1, k²]")
+        return ((i - 1) // k + 1, (i - 1) % k + 1)
+
+    return phi
+
+
+def expected_optimal_length(k: int, d: int, p: int) -> int:
+    """L_opt — the Lemma 6.8 minimal replacement length (see module
+    docstring on the constant)."""
+    return 3 * k * k + 2 * d ** p + 4
+
+
+@dataclass
+class HardInstance:
+    """G(k, d, p, φ, M, x) bundled as an RPaths instance plus metadata."""
+
+    k: int
+    d: int
+    p: int
+    matrix: List[List[int]]
+    x_bits: List[int]
+    instance: RPathsInstance
+    id_of: Dict[Name, int]
+    name_of: Dict[int, Name] = field(default_factory=dict)
+    alpha: int = -1
+    beta: int = -1
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    def expected_vertex_count_order(self) -> int:
+        """Observation 6.6: Θ(k³ + k·d^p); the exact count."""
+        k, d, p = self.k, self.d, self.p
+        tree = (d ** (p + 1) - 1) // (d - 1)
+        return (2 * k * d ** p + 4 * k ** 3 + 2 * k + k * k + 1 + tree)
+
+    def alice_side(self) -> List[int]:
+        """Vertices the Lemma 6.7 simulation assigns to α (P*, Q, R, α)."""
+        out = [self.alpha]
+        for name, vertex in self.id_of.items():
+            if name[0] in ("s", "q", "r"):
+                out.append(vertex)
+        return sorted(set(out))
+
+    def bob_side(self) -> List[int]:
+        """Vertices assigned to β (the bipartite ends and β)."""
+        width = self.d ** self.p
+        out = [self.beta]
+        for name, vertex in self.id_of.items():
+            if name[0] in ("v", "w") and name[2] == width - 1:
+                out.append(vertex)
+        return sorted(set(out))
+
+
+def build_hard_instance(
+    k: int,
+    d: int,
+    p: int,
+    matrix: Sequence[Sequence[int]],
+    x_bits: Sequence[int],
+    phi: Optional[Callable[[int], Tuple[int, int]]] = None,
+    validate: bool = True,
+) -> HardInstance:
+    """Construct G(k, d, p, φ, M, x) as a directed RPaths instance.
+
+    ``matrix[a][b]`` (0-indexed) is M_{a+1, b+1}; ``x_bits[i-1]`` is x_i.
+    """
+    if k < 2 or d < 2 or p < 1:
+        raise ValueError("need k ≥ 2, d ≥ 2, p ≥ 1")
+    if len(matrix) != k or any(len(row) != k for row in matrix):
+        raise ValueError("matrix must be k × k")
+    if len(x_bits) != k * k:
+        raise ValueError("x must have k² bits")
+    if phi is None:
+        phi = lexicographic_phi(k)
+
+    width = d ** p
+    ksq = k * k
+    id_of: Dict[Name, int] = {}
+
+    def vid(name: Name) -> int:
+        if name not in id_of:
+            id_of[name] = len(id_of)
+        return id_of[name]
+
+    edges: List[Tuple[int, int]] = []
+
+    def add(u: Name, v: Name) -> None:
+        edges.append((vid(u), vid(v)))
+
+    # -- Step 1: G(2k, d, p) skeleton, directed.
+    # Tree edges parent → children.
+    for q in range(p):
+        for j in range(d ** q):
+            for r in range(d):
+                add(("u", q, j), ("u", q + 1, j * d + r))
+    # v-paths (ℓ ∈ [1,k]) left → right; w-paths right → left.
+    for ell in range(1, k + 1):
+        for j in range(width - 1):
+            add(("v", ell, j), ("v", ell, j + 1))
+            add(("w", ell, j + 1), ("w", ell, j))
+    # Leaf-to-path edges, oriented away from the leaves.
+    for j in range(width):
+        for ell in range(1, k + 1):
+            add(("u", p, j), ("v", ell, j))
+            add(("u", p, j), ("w", ell, j))
+
+    # -- Step 2/3 (directed version): bipartite orientations from M.
+    for a in range(1, k + 1):
+        for b in range(1, k + 1):
+            if matrix[a - 1][b - 1]:
+                add(("v", a, width - 1), ("w", b, width - 1))
+            else:
+                add(("w", b, width - 1), ("v", a, width - 1))
+
+    # -- Step 3: the s-t path P*.
+    for i in range(ksq):
+        add(("s", i), ("s", i + 1))
+
+    # -- Steps 4/5: the Q and R paths with their couplings.
+    for ell in range(1, k + 1):
+        for j in range(2 * ksq):
+            add(("q", ell, j), ("q", ell, j + 1))
+            add(("r", ell, j), ("r", ell, j + 1))
+        add(("q", ell, 2 * ksq), ("v", ell, 0))
+        add(("w", ell, 0), ("r", ell, 0))
+
+    # -- Step 6: exits (gated by x) and re-entries (always present).
+    for i in range(1, ksq + 1):
+        a, b = phi(i)
+        if x_bits[i - 1]:
+            add(("s", i - 1), ("q", a, 2 * (i - 1)))
+        add(("r", b, 2 * i), ("s", i))
+
+    # -- Step 7: α to every vertex of P*, Q^ℓ, R^ℓ.
+    alpha = vid(("u", p, 0))
+    beta = vid(("u", p, width - 1))
+    for i in range(ksq + 1):
+        add(("u", p, 0), ("s", i))
+    for ell in range(1, k + 1):
+        for j in range(2 * ksq + 1):
+            add(("u", p, 0), ("q", ell, j))
+            add(("u", p, 0), ("r", ell, j))
+
+    path = [id_of[("s", i)] for i in range(ksq + 1)]
+    instance = RPathsInstance(
+        n=len(id_of),
+        edges=[(u, v, 1) for u, v in edges],
+        path=path,
+        weighted=False,
+        name=f"hard(k={k},d={d},p={p})",
+    )
+    if validate:
+        instance.validate()
+
+    hard = HardInstance(
+        k=k, d=d, p=p,
+        matrix=[list(row) for row in matrix],
+        x_bits=list(x_bits),
+        instance=instance,
+        id_of=id_of,
+        name_of={v: name for name, v in id_of.items()},
+        alpha=alpha,
+        beta=beta,
+    )
+    if validate and hard.n != hard.expected_vertex_count_order():
+        raise InvalidInstanceError(
+            f"vertex count {hard.n} does not match Observation 6.6's "
+            f"exact count {hard.expected_vertex_count_order()}")
+    return hard

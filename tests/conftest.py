@@ -1,0 +1,57 @@
+"""Shared fixtures: small instances spanning every generator family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    double_path_instance,
+    grid_instance,
+    layered_instance,
+    path_with_chords_instance,
+    random_instance,
+)
+
+
+@pytest.fixture
+def grid():
+    return grid_instance(4, 7)
+
+
+@pytest.fixture
+def small_random():
+    return random_instance(40, seed=7)
+
+
+@pytest.fixture
+def chords():
+    return path_with_chords_instance(24, seed=3)
+
+
+@pytest.fixture
+def layered():
+    return layered_instance(6, 3, seed=5)
+
+
+@pytest.fixture
+def double_path():
+    return double_path_instance(8, 2)
+
+
+def family_instances(weighted: bool = False):
+    """The standard correctness gauntlet used by integration tests."""
+    if weighted:
+        return [
+            random_instance(40, seed=1, weighted=True),
+            random_instance(60, seed=2, weighted=True, max_weight=30),
+            path_with_chords_instance(20, seed=3, weighted=True),
+            layered_instance(5, 3, seed=4, weighted=True),
+        ]
+    return [
+        random_instance(40, seed=1),
+        random_instance(70, seed=2),
+        grid_instance(4, 9),
+        path_with_chords_instance(30, seed=3),
+        layered_instance(6, 3, seed=4),
+        double_path_instance(9, 2),
+    ]

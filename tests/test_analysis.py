@@ -1,0 +1,100 @@
+"""Tests for the analysis helpers (fits, tables, experiment drivers)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    approx_quality,
+    fit_power_law,
+    format_series,
+    format_table,
+    hst_sweep,
+    invariance,
+    run_table1_cell,
+    scaling_series,
+)
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_power(self):
+        ns = [10, 20, 40, 80, 160]
+        values = [3.0 * n ** (2 / 3) for n in ns]
+        fit = fit_power_law(ns, values)
+        assert abs(fit.exponent - 2 / 3) < 1e-9
+        assert abs(fit.coefficient - 3.0) < 1e-6
+        assert fit.r_squared > 0.999999
+
+    def test_predict(self):
+        fit = fit_power_law([1, 10, 100], [2, 20, 200])
+        assert abs(fit.predict(50) - 100) < 1e-6
+
+    def test_noisy_fit_reasonable(self):
+        import random
+        rng = random.Random(1)
+        ns = [2 ** i for i in range(4, 12)]
+        values = [n ** 0.5 * (1 + 0.1 * rng.random()) for n in ns]
+        fit = fit_power_law(ns, values)
+        assert 0.4 < fit.exponent < 0.6
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_invariance_flat_series(self):
+        stats = invariance([10, 100, 1000], [5.0, 5.5, 5.2])
+        assert stats.is_flat
+        assert stats.spread_ratio < 1.2
+
+    def test_invariance_growing_series(self):
+        stats = invariance([10, 100, 1000], [10, 100, 1000])
+        assert not stats.is_flat
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        assert format_series("r", [1, 2], [3, 4]) == "r: 1=3, 2=4"
+
+    def test_float_rendering(self):
+        assert "inf" in format_table(["x"], [[float("inf")]])
+
+
+class TestExperimentDrivers:
+    def test_table1_cell_all_correct(self):
+        from repro.graphs import random_instance
+        runs = run_table1_cell(random_instance(40, seed=3))
+        assert {r.algorithm for r in runs} == \
+            {"theorem1", "mr24b", "trivial"}
+        assert all(r.correct for r in runs)
+
+    def test_scaling_series_shapes(self):
+        from repro.graphs import random_instance
+        ns, rounds, fit = scaling_series(
+            lambda size, seed: random_instance(size, seed=seed),
+            sizes=[30, 50], seed=1)
+        assert len(ns) == len(rounds) == 2
+        assert fit.points
+
+    def test_hst_sweep_structure(self):
+        sweep = hst_sweep([8, 16], seed=1, include_naive=False)
+        assert set(sweep) == {"theorem1", "mr24b"}
+        assert all(len(v) == 2 for v in sweep.values())
+        assert all(r.correct for v in sweep.values() for r in v)
+
+    def test_approx_quality_bounds(self):
+        from repro.graphs import random_instance
+        inst = random_instance(25, seed=2, weighted=True)
+        rows = approx_quality(inst, [0.5], seed=1,
+                              landmarks=list(range(inst.n)))
+        eps, worst, rounds = rows[0]
+        assert eps == 0.5
+        assert 1.0 <= worst <= 1.5 + 1e-9
+        assert rounds > 0

@@ -1,0 +1,115 @@
+"""Tests for the short-detour approximators (Lemmas 7.5/7.2)."""
+
+import pytest
+
+from repro.approx.approximators import build_short_detour_tables
+from repro.approx.rounding import scale_ladder
+from repro.congest.words import INF
+from repro.core.knowledge import oracle_knowledge
+from repro.graphs import (
+    layered_instance,
+    path_with_chords_instance,
+    random_instance,
+)
+
+
+def exact_x_tables(instance, zeta):
+    """Brute-force X({i},{j}) over canonical detours of ≤ ζ hops."""
+    from repro.baselines.centralized import _dijkstra_with_hops
+    h = instance.hop_count
+    path = instance.path
+    avoid = instance.path_edge_set()
+    pre = instance.path_prefix_weights()
+    total = pre[-1]
+    start_exact = [[INF] * (h + 1) for _ in range(h + 1)]
+    for i in range(h + 1):
+        dist, hops = _dijkstra_with_hops(instance, path[i], avoid)
+        for j in range(i + 1, h + 1):
+            if dist[path[j]] < INF and hops[path[j]] <= zeta:
+                start_exact[i][j] = pre[i] + dist[path[j]] + (
+                    total - pre[j])
+    return start_exact
+
+
+def build(instance, epsilon, zeta):
+    net = instance.build_network()
+    knowledge = oracle_knowledge(instance)
+    max_length = sum(w for _, _, w in instance.edges)
+    scales = scale_ladder(zeta, epsilon, max_length)
+    tables = build_short_detour_tables(instance, net, knowledge, scales)
+    return tables
+
+
+@pytest.mark.parametrize("builder", [
+    lambda: random_instance(25, seed=1, weighted=True, max_weight=6),
+    lambda: layered_instance(4, 3, seed=2, weighted=True),
+    lambda: path_with_chords_instance(12, seed=3, weighted=True),
+])
+@pytest.mark.parametrize("epsilon", [0.5, 0.25])
+def test_sandwich_on_forward_tables(builder, epsilon):
+    instance = builder()
+    zeta = 4
+    tables = build(instance, epsilon, zeta)
+    exact = exact_x_tables(instance, zeta)
+    h = instance.hop_count
+    for i in range(h + 1):
+        for j in range(i + 1, h + 1):
+            got = tables.x_start_at(i, j)
+            # Validity: never below the best unrestricted-hop detour of
+            # the same shape; in particular never below the ζ-hop truth.
+            best_exact = min(exact[i][jj] for jj in range(j, h + 1))
+            if best_exact < INF:
+                assert got <= (1 + epsilon) * best_exact, (i, j)
+            # The reported value must always be achievable (≥ *some*
+            # real replacement length), so at minimum ≥ |P| when finite.
+            if got < INF:
+                assert got >= instance.path_length
+
+
+def test_forward_table_monotone_in_j():
+    instance = random_instance(20, seed=5, weighted=True)
+    tables = build(instance, 0.5, 4)
+    h = instance.hop_count
+    for i in range(h + 1):
+        previous = None
+        for j in range(i + 1, h + 1):
+            value = tables.x_start_at(i, j)
+            if previous is not None:
+                assert value >= previous  # fewer rejoin options → harder
+            previous = value
+
+
+def test_backward_table_monotone_in_j():
+    instance = random_instance(20, seed=6, weighted=True)
+    tables = build(instance, 0.5, 4)
+    h = instance.hop_count
+    for i in range(h + 1):
+        previous = None
+        for j in range(i - 1, -1, -1):
+            value = tables.x_end_at(i, j)
+            if previous is not None:
+                assert value >= previous
+            previous = value
+
+
+def test_out_of_range_queries_inf():
+    instance = random_instance(15, seed=7, weighted=True)
+    tables = build(instance, 0.5, 3)
+    h = instance.hop_count
+    assert tables.x_start_at(0, h + 1) == INF
+    assert tables.x_end_at(h, -1) == INF
+
+
+def test_unweighted_instance_tables_consistent_with_exact():
+    # On an unweighted instance the rounding is exact up to (1+ε).
+    from repro.graphs import grid_instance
+    instance = grid_instance(3, 6)
+    zeta = 4
+    tables = build(instance, 0.5, zeta)
+    exact = exact_x_tables(instance, zeta)
+    h = instance.hop_count
+    for i in range(h):
+        best_exact = min(exact[i][jj] for jj in range(i + 1, h + 1))
+        got = tables.x_start_at(i, i + 1)
+        if best_exact < INF:
+            assert best_exact <= got <= 1.5 * best_exact

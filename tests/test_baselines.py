@@ -1,0 +1,114 @@
+"""Tests for the baseline algorithms (centralized, trivial, MR24b, RZ)."""
+
+import pytest
+
+from repro.baselines import (
+    detour_replacement_lengths_with_threshold,
+    replacement_lengths,
+    solve_rpaths_mr24,
+    solve_rpaths_naive,
+    solve_rpaths_roditty_zwick,
+    two_sisp_length,
+)
+from repro.congest.words import INF
+from tests.conftest import family_instances
+
+
+class TestCentralizedOracle:
+    def test_grid_truth(self, grid):
+        truth = replacement_lengths(grid)
+        assert truth == [grid.hop_count + 2] * grid.hop_count
+
+    def test_two_sisp_is_min(self, chords):
+        truth = replacement_lengths(chords)
+        assert two_sisp_length(chords) == min(truth)
+
+    def test_detour_split_covers_truth(self):
+        # min(short bucket, long bucket) must equal the full truth for
+        # any threshold.
+        for idx in range(4):
+            instance = family_instances()[idx]
+            truth = replacement_lengths(instance)
+            for zeta in (1, 3, 8):
+                short, long_ = detour_replacement_lengths_with_threshold(
+                    instance, zeta)
+                combined = [min(a, b) for a, b in zip(short, long_)]
+                assert combined == truth, (instance.name, zeta)
+
+    def test_buckets_disjoint_semantics(self, double_path):
+        # The double-path detour has h+extra hops: it must land in the
+        # long bucket for small ζ and the short bucket for large ζ.
+        hop = double_path.hop_count + 2  # detour hop count
+        short, long_ = detour_replacement_lengths_with_threshold(
+            double_path, hop - 1)
+        assert all(x == INF for x in short)
+        assert all(x < INF for x in long_)
+        short, long_ = detour_replacement_lengths_with_threshold(
+            double_path, hop)
+        assert all(x < INF for x in short)
+
+
+class TestTrivialBaseline:
+    @pytest.mark.parametrize("idx", range(4))
+    def test_exact(self, idx):
+        instance = family_instances()[idx]
+        report = solve_rpaths_naive(instance)
+        assert report.lengths == replacement_lengths(instance)
+
+    def test_rounds_scale_with_hst(self):
+        from repro.graphs import path_with_chords_instance
+        small = path_with_chords_instance(12, seed=1)
+        large = path_with_chords_instance(60, seed=1)
+        r_small = solve_rpaths_naive(small).rounds
+        r_large = solve_rpaths_naive(large).rounds
+        assert r_large > 3 * r_small  # h_st grew 5×
+
+    def test_weighted_rejected(self):
+        from repro.graphs import random_instance
+        inst = random_instance(20, seed=3, weighted=True)
+        with pytest.raises(ValueError):
+            solve_rpaths_naive(inst)
+
+
+class TestMR24Baseline:
+    @pytest.mark.parametrize("idx", range(6))
+    def test_exact_with_full_landmarks(self, idx):
+        instance = family_instances()[idx]
+        report = solve_rpaths_mr24(
+            instance, landmarks=list(range(instance.n)))
+        assert report.lengths == replacement_lengths(instance), \
+            instance.name
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_exact_with_sampled_landmarks(self, seed, chords):
+        report = solve_rpaths_mr24(chords, seed=seed, landmark_c=3.0)
+        assert report.lengths == replacement_lengths(chords)
+
+    def test_big_broadcast_phase_present(self, grid):
+        report = solve_rpaths_mr24(grid, landmarks=list(range(grid.n)))
+        assert "mr24-big-broadcast" in report.ledger.breakdown()
+
+    def test_weighted_rejected(self):
+        from repro.graphs import random_instance
+        inst = random_instance(20, seed=3, weighted=True)
+        with pytest.raises(ValueError):
+            solve_rpaths_mr24(inst)
+
+
+class TestRodittyZwick:
+    @pytest.mark.parametrize("idx", range(6))
+    def test_exact_with_full_landmarks(self, idx):
+        instance = family_instances()[idx]
+        got = solve_rpaths_roditty_zwick(
+            instance, landmarks=list(range(instance.n)))
+        assert got == replacement_lengths(instance), instance.name
+
+    def test_exact_with_default_sampling(self, chords):
+        got = solve_rpaths_roditty_zwick(chords, seed=5)
+        assert got == replacement_lengths(chords)
+
+    @pytest.mark.parametrize("zeta", [1, 4, 50])
+    def test_threshold_invariant(self, zeta, grid):
+        got = solve_rpaths_roditty_zwick(
+            grid, zeta=zeta, landmarks=list(range(grid.n)))
+        assert got == replacement_lengths(grid)

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.family == "random"
+        assert args.n == 100
+        assert args.epsilon is None
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--family", "torus"])
+
+
+class TestSolveCommand:
+    def test_unweighted_with_check(self, capsys):
+        code = main(["solve", "--family", "grid", "--n", "24",
+                     "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 1" in out
+        assert "oracle check: OK" in out
+
+    def test_breakdown_prints_ledger(self, capsys):
+        code = main(["solve", "--family", "random", "--n", "40",
+                     "--seed", "2", "--breakdown"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "short-detour(P4.1)" in out
+
+    def test_weighted_requires_epsilon(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--family", "random", "--n", "30",
+                  "--weighted"])
+
+    def test_weighted_with_epsilon(self, capsys):
+        code = main(["solve", "--family", "random", "--n", "26",
+                     "--weighted", "--epsilon", "0.5", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 3" in out
+        assert "oracle check: OK" in out
+
+
+class TestOtherCommands:
+    def test_compare(self, capsys):
+        code = main(["compare", "--family", "grid", "--n", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("theorem1", "mr24b", "trivial"):
+            assert name in out
+
+    def test_lower_bound(self, capsys):
+        code = main(["lower-bound", "--k", "2", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Lemma 6.8 dichotomy holds: True" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "PODC 2025" in capsys.readouterr().out

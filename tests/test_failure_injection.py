@@ -1,0 +1,85 @@
+"""Failure injection: the simulator must reject model violations loudly."""
+
+import pytest
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    InvalidInstanceError,
+    NotALinkError,
+)
+from repro.congest.network import CongestNetwork
+from repro.graphs import grid_instance
+from repro.graphs.instance import RPathsInstance
+
+
+class TestBandwidthEnforcement:
+    def test_algorithms_fit_strict_budget(self):
+        # The whole Theorem 1 pipeline under a strict per-link budget:
+        # every primitive is supposed to be congestion-free.
+        from repro.core.rpaths import solve_rpaths
+        instance = grid_instance(3, 6)
+        report = solve_rpaths(
+            instance, landmarks=list(range(instance.n)),
+            bandwidth_words=8)
+        assert report.ledger.violations == 0
+
+    def test_overload_detected(self):
+        net = CongestNetwork(2, [(0, 1)], bandwidth_words=1,
+                             strict=True)
+        with pytest.raises(BandwidthExceededError) as err:
+            net.exchange({0: [(1, (1, 2, 3, 4))]})
+        assert err.value.words == 4
+
+    def test_accumulated_small_messages_also_counted(self):
+        net = CongestNetwork(2, [(0, 1)], bandwidth_words=2,
+                             strict=True)
+        with pytest.raises(BandwidthExceededError):
+            net.exchange({0: [(1, (1,)), (1, (2,)), (1, (3,))]})
+
+
+class TestTopologyViolations:
+    def test_phantom_link_rejected(self):
+        net = CongestNetwork(3, [(0, 1)])
+        with pytest.raises(NotALinkError):
+            net.exchange({0: [(2, ("ghost",))]})
+
+    def test_error_carries_endpoints(self):
+        net = CongestNetwork(3, [(0, 1)])
+        try:
+            net.exchange({0: [(2, ("ghost",))]})
+        except NotALinkError as err:
+            assert (err.sender, err.receiver) == (0, 2)
+
+
+class TestInstanceRejection:
+    def test_solver_entry_validates_weighted_flag(self):
+        from repro.core.rpaths import solve_rpaths
+        from repro.graphs import random_instance
+        inst = random_instance(25, seed=2, weighted=True)
+        with pytest.raises(ValueError):
+            solve_rpaths(inst)
+
+    def test_non_shortest_path_rejected_at_validation(self):
+        inst = RPathsInstance(
+            n=3, edges=[(0, 1, 1), (1, 2, 1), (0, 2, 1)],
+            path=[0, 1, 2])
+        with pytest.raises(InvalidInstanceError):
+            inst.validate()
+
+    def test_epsilon_out_of_range_rejected(self):
+        from repro.approx.apx_rpaths import solve_apx_rpaths
+        from repro.graphs import random_instance
+        inst = random_instance(20, seed=1, weighted=True)
+        with pytest.raises(ValueError):
+            solve_apx_rpaths(inst, epsilon=1.5)
+
+
+class TestLedgerIntegrityUnderFailure:
+    def test_rounds_survive_mid_run_exception(self):
+        net = CongestNetwork(3, [(0, 1)], strict=True,
+                             bandwidth_words=1)
+        net.exchange({0: [(1, (1,))]})
+        with pytest.raises(BandwidthExceededError):
+            net.exchange({0: [(1, (1, 2))]})
+        # The failed round was still charged (it happened on the wire).
+        assert net.rounds == 2

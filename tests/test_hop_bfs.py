@@ -1,0 +1,171 @@
+"""Tests for the pruned hop-constrained BFS (Lemma 4.2, core.hop_bfs).
+
+The reference implementation computes f*_u(d) independently via boolean
+reachability matrices over G \\ P: f*_u(d) = max{ j : A^d[u][path[j]] },
+exactly the "walk of length exactly d" semantics of the lemma.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hop_bfs import pruned_max_hop_bfs
+from repro.graphs import grid_instance, random_instance
+
+
+def reference_fstar(instance, hop_limit, select="max"):
+    """Matrix-power reference for f*/g* (exact-length walks in G\\P)."""
+    n = instance.n
+    avoid = instance.path_edge_set()
+    adj = np.zeros((n, n), dtype=bool)
+    for u, v, _ in instance.edges:
+        if (u, v) not in avoid:
+            adj[u][v] = True
+    path = instance.path
+    pos = {v: i for i, v in enumerate(path)}
+
+    tables = {u: [None] * (hop_limit + 1) for u in path}
+    reach = np.eye(n, dtype=bool)
+    for d in range(hop_limit + 1):
+        if d > 0:
+            # backward sense: walks *from* u to path vertices.
+            reach = reach @ adj
+        for u in path:
+            hits = [pos[path[j]] for j in range(len(path))
+                    if reach[u][path[j]]]
+            if hits:
+                best = max(hits) if select == "max" else min(hits)
+                tables[u][d] = best
+    return tables
+
+
+class TestPrunedBfsUnweighted:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_matrix_reference(self, seed):
+        instance = random_instance(30, seed=seed)
+        net = instance.build_network()
+        zeta = 6
+        knowledge = {v: i for i, v in enumerate(instance.path)}
+        seeds = {v: (i, 0) for v, i in knowledge.items()}
+        got = pruned_max_hop_bfs(
+            net, seeds, hop_limit=zeta,
+            avoid_edges=instance.path_edge_set(),
+            record_for=instance.path)
+        want = reference_fstar(instance, zeta)
+        for u in instance.path:
+            got_idx = [e[0] if e else None for e in got[u]]
+            assert got_idx == want[u], f"vertex {u}"
+
+    def test_grid_reference(self):
+        instance = grid_instance(3, 6)
+        net = instance.build_network()
+        seeds = {v: (i, 0) for i, v in enumerate(instance.path)}
+        got = pruned_max_hop_bfs(
+            net, seeds, hop_limit=5,
+            avoid_edges=instance.path_edge_set(),
+            record_for=instance.path)
+        want = reference_fstar(instance, 5)
+        for u in instance.path:
+            assert [e[0] if e else None for e in got[u]] == want[u]
+
+    def test_deterministic_round_budget(self):
+        instance = grid_instance(3, 5)
+        net = instance.build_network()
+        seeds = {v: (i, 0) for i, v in enumerate(instance.path)}
+        pruned_max_hop_bfs(net, seeds, hop_limit=7,
+                           avoid_edges=instance.path_edge_set())
+        assert net.rounds == 7  # exactly ζ rounds, Proposition 4.1
+
+    def test_congestion_is_constant(self):
+        instance = random_instance(40, seed=5)
+        net = instance.build_network()
+        seeds = {v: (i, 0) for i, v in enumerate(instance.path)}
+        pruned_max_hop_bfs(net, seeds, hop_limit=8,
+                           avoid_edges=instance.path_edge_set())
+        # One (tag, index, aux) message per link per round: the whole
+        # point of the pruning.
+        assert net.ledger.max_link_words <= 3
+
+    def test_aux_rides_along(self):
+        instance = grid_instance(3, 4)
+        net = instance.build_network()
+        seeds = {v: (i, 100 + i) for i, v in enumerate(instance.path)}
+        got = pruned_max_hop_bfs(
+            net, seeds, hop_limit=4,
+            avoid_edges=instance.path_edge_set(),
+            record_for=instance.path)
+        for u in instance.path:
+            for entry in got[u]:
+                if entry is not None:
+                    assert entry[1] == 100 + entry[0]
+
+    def test_record_for_filters_output(self):
+        instance = grid_instance(3, 4)
+        net = instance.build_network()
+        seeds = {v: (i, 0) for i, v in enumerate(instance.path)}
+        got = pruned_max_hop_bfs(
+            net, seeds, hop_limit=3,
+            avoid_edges=instance.path_edge_set(),
+            record_for=[instance.s])
+        assert set(got) == {instance.s}
+
+    def test_invalid_modes_rejected(self):
+        instance = grid_instance(2, 3)
+        net = instance.build_network()
+        with pytest.raises(ValueError):
+            pruned_max_hop_bfs(net, {}, 2, sense="diagonal")
+        with pytest.raises(ValueError):
+            pruned_max_hop_bfs(net, {}, 2, select="median")
+
+
+class TestForwardMinMode:
+    def test_matches_reverse_reference(self):
+        # g*_u(d) = min j with a walk path[j] -> u of exactly d hops;
+        # check via the transposed matrix reference.
+        instance = random_instance(30, seed=7)
+        n = instance.n
+        avoid = instance.path_edge_set()
+        adj = np.zeros((n, n), dtype=bool)
+        for u, v, _ in instance.edges:
+            if (u, v) not in avoid:
+                adj[u][v] = True
+        path = instance.path
+        hop = 5
+
+        net = instance.build_network()
+        seeds = {v: (i, 0) for i, v in enumerate(path)}
+        got = pruned_max_hop_bfs(
+            net, seeds, hop_limit=hop, avoid_edges=avoid,
+            record_for=path, sense="forward", select="min")
+
+        reach = np.eye(n, dtype=bool)
+        for d in range(hop + 1):
+            if d > 0:
+                reach = adj.T @ reach  # walks *into* u
+            for i, u in enumerate(path):
+                hits = [j for j, w in enumerate(path) if reach[u][w]]
+                want = min(hits) if hits else None
+                entry = got[u][d]
+                assert (entry[0] if entry else None) == want
+
+
+class TestDelayedMode:
+    def test_delay_expands_hops(self):
+        # 3 <-w=2- 1 <-w=3- 0-ish chain in backward sense: build
+        # 0 <- 1 <- 2 with weights; seed at vertex 0 (treated as a path
+        # vertex of index 0) and watch arrival hops stretch by delay.
+        from repro.congest.network import CongestNetwork
+        net = CongestNetwork(3, [(1, 0, 3), (2, 1, 2)])
+        got = pruned_max_hop_bfs(
+            net, {0: (0, 0)}, hop_limit=10,
+            delay=lambda w: w, record_for=[1, 2])
+        assert got[1][3] == (0, 0)  # 3 subdivided hops across weight 3
+        assert got[2][5] == (0, 0)
+        assert got[2][2] is None
+
+    def test_arrivals_beyond_budget_dropped(self):
+        from repro.congest.network import CongestNetwork
+        net = CongestNetwork(2, [(1, 0, 9)])
+        got = pruned_max_hop_bfs(
+            net, {0: (0, 0)}, hop_limit=4,
+            delay=lambda w: w, record_for=[1])
+        assert all(e is None for e in got[1][1:])

@@ -1,0 +1,110 @@
+"""Unit tests for the Section 7.2 interval pipelining: the distributed
+sweeps must equal a sequential evaluation of the same local tables."""
+
+import pytest
+
+from repro.approx.approximators import build_short_detour_tables
+from repro.approx.intervals import (
+    combine_short_detours,
+    distant_detours,
+    interval_partition,
+    nearby_detours,
+)
+from repro.approx.rounding import scale_ladder
+from repro.congest.spanning_tree import build_spanning_tree
+from repro.congest.words import INF
+from repro.core.knowledge import oracle_knowledge
+from repro.graphs import path_with_chords_instance, random_instance
+
+
+def build_env(instance, width, epsilon=0.5):
+    net = instance.build_network()
+    tree = build_spanning_tree(net)
+    knowledge = oracle_knowledge(instance)
+    scales = scale_ladder(
+        4, epsilon, sum(w for _, _, w in instance.edges))
+    tables = build_short_detour_tables(instance, net, knowledge, scales)
+    intervals = interval_partition(knowledge.hop_count, width)
+    return net, tree, knowledge, tables, intervals
+
+
+def sequential_nearby_a(tables, intervals, i):
+    for left, right in intervals:
+        if left <= i < right:
+            return min(tables.x_start_at(k, i + 1)
+                       for k in range(left, i + 1))
+    return None
+
+
+def sequential_nearby_b(tables, intervals, i):
+    for left, right in intervals:
+        if left <= i < right:
+            return min(tables.x_end_at(k, i)
+                       for k in range(i + 1, right + 1))
+    return None
+
+
+def sequential_cross(tables, intervals, g, k):
+    l_k = intervals[k][0]
+    best = INF
+    for x in range(g + 1):
+        left, right = intervals[x]
+        for i in range(left, right + 1):
+            value = tables.x_start_at(i, l_k)
+            if value < best:
+                best = value
+    return best
+
+
+@pytest.mark.parametrize("builder,width", [
+    (lambda: path_with_chords_instance(16, seed=1, weighted=True), 5),
+    (lambda: random_instance(24, seed=2, weighted=True), 3),
+    (lambda: path_with_chords_instance(16, seed=3, weighted=True), 50),
+])
+def test_nearby_sweeps_equal_sequential(builder, width):
+    instance = builder()
+    net, tree, knowledge, tables, intervals = build_env(instance, width)
+    a, b = nearby_detours(net, knowledge, tables, intervals)
+    for i in a:
+        assert a[i] == sequential_nearby_a(tables, intervals, i), i
+    for i in b:
+        assert b[i] == sequential_nearby_b(tables, intervals, i), i
+
+
+@pytest.mark.parametrize("width", [3, 6])
+def test_distant_broadcast_equals_sequential(width):
+    instance = path_with_chords_instance(18, seed=4, weighted=True)
+    net, tree, knowledge, tables, intervals = build_env(instance, width)
+    cross = distant_detours(net, tree, knowledge, tables, intervals)
+    ell = len(intervals)
+    for g in range(ell):
+        for k in range(g + 1, ell):
+            assert cross[g][k] == sequential_cross(
+                tables, intervals, g, k), (g, k)
+
+
+def test_combiner_covers_every_edge_case():
+    instance = path_with_chords_instance(18, seed=5, weighted=True)
+    net, tree, knowledge, tables, intervals = build_env(instance, 5)
+    a, b = nearby_detours(net, knowledge, tables, intervals)
+    cross = distant_detours(net, tree, knowledge, tables, intervals)
+    out = combine_short_detours(knowledge, tables, intervals, a, b,
+                                cross)
+    assert len(out) == instance.hop_count
+    # Every value must be a genuine combination of the inputs or INF.
+    for i, value in enumerate(out):
+        pool = {cross[g][k] for g in range(len(intervals))
+                for k in range(g + 1, len(intervals))}
+        pool |= set(a.values()) | set(b.values()) | {INF}
+        assert value in pool
+
+
+def test_sweep_round_cost_pipelined():
+    instance = path_with_chords_instance(30, seed=6, weighted=True)
+    net, tree, knowledge, tables, intervals = build_env(instance, 8)
+    before = net.rounds
+    nearby_detours(net, knowledge, tables, intervals)
+    used = net.rounds - before
+    # Per interval: ≤ 2·width sweeps over ≤ width links, pipelined in
+    # O(width) rounds; intervals run concurrently.
+    assert used <= 4 * 8 + 6

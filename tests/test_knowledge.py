@@ -1,0 +1,82 @@
+"""Tests for the Lemma 2.5 preprocessing (core.knowledge)."""
+
+import pytest
+
+from repro.core.knowledge import acquire_path_knowledge, oracle_knowledge
+from repro.congest.spanning_tree import build_spanning_tree
+from tests.conftest import family_instances
+
+
+class TestOracleKnowledge:
+    def test_positions_and_distances(self, grid):
+        k = oracle_knowledge(grid)
+        assert k.path == grid.path
+        assert k.dist_from_s[0] == 0
+        assert k.dist_to_t[-1] == 0
+        assert k.total_length == grid.hop_count  # unweighted
+
+    def test_weighted_distances(self):
+        from repro.graphs import random_instance
+        inst = random_instance(40, seed=9, weighted=True)
+        k = oracle_knowledge(inst)
+        assert k.dist_from_s == inst.path_prefix_weights()
+        for i in range(k.hop_count + 1):
+            assert k.dist_from_s[i] + k.dist_to_t[i] == k.total_length
+
+    def test_position_inverse(self, chords):
+        k = oracle_knowledge(chords)
+        for i, v in enumerate(chords.path):
+            assert k.position_of[v] == i
+
+
+class TestAcquireKnowledge:
+    @pytest.mark.parametrize("idx", range(6))
+    def test_matches_oracle_across_families(self, idx):
+        inst = family_instances()[idx]
+        net = inst.build_network()
+        got = acquire_path_knowledge(inst, net, seed=idx)
+        want = oracle_knowledge(inst)
+        assert got.path == want.path
+        assert got.dist_from_s == want.dist_from_s
+        assert got.dist_to_t == want.dist_to_t
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sampling_seed_does_not_change_result(self, seed, chords):
+        net = chords.build_network()
+        got = acquire_path_knowledge(chords, net, seed=seed)
+        want = oracle_knowledge(chords)
+        assert got.dist_from_s == want.dist_from_s
+
+    def test_weighted_instance(self):
+        from repro.graphs import path_with_chords_instance
+        inst = path_with_chords_instance(25, seed=2, weighted=True)
+        net = inst.build_network()
+        got = acquire_path_knowledge(inst, net, seed=0)
+        assert got.dist_from_s == inst.path_prefix_weights()
+
+    def test_rounds_recorded(self, chords):
+        net = chords.build_network()
+        k = acquire_path_knowledge(chords, net, seed=1)
+        assert k.rounds_used == net.rounds
+        assert k.rounds_used > 0
+
+    def test_round_bound_sublinear_in_hst(self):
+        # Õ(√n + D): with the overlay hub, D = 2 while h_st = 220, so the
+        # acquisition must stay far below h_st (it would be ≥ h_st if it
+        # naively swept the whole path).
+        import math
+        from repro.graphs import path_with_chords_instance
+        inst = path_with_chords_instance(
+            220, seed=1, detour_every=50, overlay_hub=True)
+        net = inst.build_network()
+        acquire_path_knowledge(inst, net, seed=3)
+        budget = 8 * (math.sqrt(inst.n) * math.log(inst.n) + 2) + 20
+        assert net.rounds < budget
+        assert net.rounds < inst.hop_count
+
+    def test_reuses_provided_tree(self, grid):
+        net = grid.build_network()
+        tree = build_spanning_tree(net)
+        before = net.rounds
+        acquire_path_knowledge(grid, net, tree=tree, seed=0)
+        assert net.rounds > before  # worked on the same ledger

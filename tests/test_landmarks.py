@@ -1,0 +1,73 @@
+"""Tests for landmark sampling (Definition 5.2 / Lemma 5.3)."""
+
+import math
+import random
+
+from repro.core.landmarks import (
+    expected_landmark_count,
+    landmark_probability,
+    sample_landmarks,
+    segment_hits_landmark,
+)
+
+
+class TestSamplingDistribution:
+    def test_probability_formula(self):
+        n, zeta = 1000, 100
+        p = landmark_probability(n, zeta, c=2.0)
+        assert abs(p - 2.0 * math.log(n) / zeta) < 1e-12
+
+    def test_probability_clamped(self):
+        assert landmark_probability(10, 1, c=50.0) == 1.0
+        assert landmark_probability(1, 5) == 1.0
+
+    def test_expected_count_is_n_p(self):
+        n, zeta = 729, 81  # ζ = n^{2/3}
+        want = n * landmark_probability(n, zeta)
+        assert expected_landmark_count(n, zeta) == want
+
+    def test_expected_count_order_n_to_one_third(self):
+        # At ζ = n^{2/3}, E|L| = c·n^{1/3}·log n.
+        n = 1000
+        zeta = round(n ** (2 / 3))
+        expected = expected_landmark_count(n, zeta, c=2.0)
+        assert expected < 10 * (n ** (1 / 3)) * math.log(n)
+
+    def test_deterministic_under_seed(self):
+        assert sample_landmarks(200, 34, seed=9) == \
+            sample_landmarks(200, 34, seed=9)
+
+    def test_empirical_rate_close_to_p(self):
+        n, zeta = 4000, 250
+        p = landmark_probability(n, zeta)
+        counts = [len(sample_landmarks(n, zeta, seed=s))
+                  for s in range(5)]
+        mean = sum(counts) / len(counts)
+        assert 0.5 * p * n < mean < 1.8 * p * n
+
+    def test_shared_rng_advances(self):
+        rng = random.Random(3)
+        a = sample_landmarks(100, 20, rng=rng)
+        b = sample_landmarks(100, 20, rng=rng)
+        assert a != b  # rng state advanced between calls
+
+
+class TestCoverageProperty:
+    def test_segment_hits_landmark_predicate(self):
+        assert segment_hits_landmark([1, 2, 3], [3, 9])
+        assert not segment_hits_landmark([1, 2, 3], [4])
+        assert not segment_hits_landmark([], [1])
+
+    def test_lemma_5_3_empirically(self):
+        # Every ζ-vertex window of 0..n−1 should contain a landmark in
+        # the vast majority of samples at c = 2.
+        n, zeta = 2000, 150
+        misses = 0
+        trials = 10
+        for seed in range(trials):
+            landmarks = set(sample_landmarks(n, zeta, c=2.0, seed=seed))
+            for start in range(0, n - zeta, zeta):
+                window = range(start, start + zeta)
+                if not any(v in landmarks for v in window):
+                    misses += 1
+        assert misses == 0

@@ -1,0 +1,98 @@
+"""Unit tests for the round ledger (congest.metrics)."""
+
+from repro.congest.metrics import RoundLedger
+
+
+class TestLedgerBasics:
+    def test_starts_empty(self):
+        ledger = RoundLedger()
+        assert ledger.rounds == 0
+        assert ledger.messages == 0
+        assert ledger.words == 0
+        assert ledger.max_link_words == 0
+        assert ledger.violations == 0
+
+    def test_root_phase_always_charged(self):
+        ledger = RoundLedger()
+        ledger.charge_round(3, 6, 2)
+        assert ledger.rounds == 1
+        assert ledger.messages == 3
+        assert ledger.words == 6
+        assert ledger.max_link_words == 2
+
+    def test_named_phase_accumulates(self):
+        ledger = RoundLedger()
+        with ledger.phase("bfs"):
+            ledger.charge_round(1, 1, 1)
+            ledger.charge_round(1, 1, 1)
+        assert ledger["bfs"].rounds == 2
+        assert ledger.rounds == 2
+
+    def test_phase_reentry_accumulates(self):
+        ledger = RoundLedger()
+        for _ in range(3):
+            with ledger.phase("sweep"):
+                ledger.charge_round(0, 0, 0)
+        assert ledger["sweep"].rounds == 3
+
+    def test_nested_phases_both_charged(self):
+        ledger = RoundLedger()
+        with ledger.phase("outer"):
+            with ledger.phase("inner"):
+                ledger.charge_round(2, 4, 1)
+        assert ledger["outer"].rounds == 1
+        assert ledger["inner"].rounds == 1
+        assert ledger.rounds == 1
+
+    def test_same_phase_nested_not_double_charged(self):
+        ledger = RoundLedger()
+        with ledger.phase("p"):
+            with ledger.phase("p"):
+                ledger.charge_round(1, 1, 1)
+        assert ledger["p"].rounds == 1
+
+    def test_max_link_words_is_max_not_sum(self):
+        ledger = RoundLedger()
+        ledger.charge_round(1, 1, 3)
+        ledger.charge_round(1, 1, 5)
+        ledger.charge_round(1, 1, 2)
+        assert ledger.max_link_words == 5
+
+    def test_violations_accumulate(self):
+        ledger = RoundLedger()
+        ledger.charge_round(1, 1, 9, violations=2)
+        ledger.charge_round(1, 1, 1, violations=1)
+        assert ledger.violations == 3
+
+    def test_contains(self):
+        ledger = RoundLedger()
+        with ledger.phase("x"):
+            pass
+        assert "x" in ledger
+        assert "y" not in ledger
+
+    def test_breakdown_order_root_first(self):
+        ledger = RoundLedger()
+        with ledger.phase("a"):
+            ledger.charge_round(0, 0, 0)
+        with ledger.phase("b"):
+            ledger.charge_round(0, 0, 0)
+        names = list(ledger.breakdown())
+        assert names[0] == RoundLedger.ROOT
+        assert names.index("a") < names.index("b")
+
+    def test_report_renders_all_phases(self):
+        ledger = RoundLedger()
+        with ledger.phase("alpha"):
+            ledger.charge_round(1, 2, 1)
+        text = ledger.report()
+        assert "alpha" in text
+        assert "total" in text
+
+    def test_as_dict(self):
+        ledger = RoundLedger()
+        ledger.charge_round(1, 2, 3)
+        d = ledger[RoundLedger.ROOT].as_dict()
+        assert d["rounds"] == 1
+        assert d["words"] == 2
+        assert d["max_link_words"] == 3

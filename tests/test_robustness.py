@@ -1,0 +1,111 @@
+"""Robustness tests: random bijections φ, strict bandwidth end-to-end,
+and determinism guarantees."""
+
+import random
+
+import pytest
+
+from repro.baselines import replacement_lengths
+from repro.lowerbound import build_hard_instance, verify_correspondence
+
+
+class TestRandomPhi:
+    """Lemma 6.8 must hold for ANY bijection φ : [k²] → [k] × [k]."""
+
+    @staticmethod
+    def random_phi(k, seed):
+        rng = random.Random(seed)
+        images = [(a, b) for a in range(1, k + 1)
+                  for b in range(1, k + 1)]
+        rng.shuffle(images)
+
+        def phi(i):
+            return images[i - 1]
+
+        return phi
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma_6_8_with_shuffled_phi(self, seed):
+        k = 2
+        rng = random.Random(100 + seed)
+        matrix = [[rng.randint(0, 1) for _ in range(k)]
+                  for _ in range(k)]
+        x = [rng.randint(0, 1) for _ in range(k * k)]
+        phi = self.random_phi(k, seed)
+        hard = build_hard_instance(k, 2, 1, matrix, x, phi=phi)
+        report = verify_correspondence(hard, phi=phi)
+        assert report.holds, report.violations
+
+    def test_phi_changes_which_edges_hit(self):
+        k = 2
+        matrix = [[1, 0], [0, 0]]
+        x = [1, 1, 1, 1]
+        from repro.lowerbound import lexicographic_phi
+        hard_lex = build_hard_instance(k, 2, 1, matrix, x)
+        rep_lex = verify_correspondence(hard_lex)
+        swapped = self.random_phi(k, seed=1)
+        hard_rand = build_hard_instance(k, 2, 1, matrix, x, phi=swapped)
+        rep_rand = verify_correspondence(hard_rand, phi=swapped)
+        assert rep_lex.holds and rep_rand.holds
+        # Exactly one M-entry is 1 and x ≡ 1, so exactly one edge is
+        # minimal under any bijection.
+        assert rep_lex.hit_count == rep_rand.hit_count == 1
+
+
+class TestStrictBandwidthEndToEnd:
+    def test_theorem1_sampled_landmarks_fits_budget(self):
+        from repro.core.rpaths import solve_rpaths
+        from repro.graphs import path_with_chords_instance
+        inst = path_with_chords_instance(24, seed=1, overlay_hub=True)
+        report = solve_rpaths(inst, seed=2, bandwidth_words=8)
+        assert report.ledger.violations == 0
+        assert report.lengths == replacement_lengths(inst)
+
+    def test_theorem3_fits_budget(self):
+        from repro.approx.apx_rpaths import solve_apx_rpaths
+        from repro.graphs import random_instance
+        inst = random_instance(30, seed=3, weighted=True)
+        report = solve_apx_rpaths(
+            inst, epsilon=0.5, landmarks=list(range(inst.n)),
+            bandwidth_words=8)
+        assert report.ledger.violations == 0
+
+    def test_undirected_extension_fits_budget(self):
+        from repro.extensions import (
+            random_undirected_instance,
+            solve_rpaths_undirected,
+            undirected_replacement_lengths,
+        )
+        inst = random_undirected_instance(30, seed=4)
+        report = solve_rpaths_undirected(inst)
+        assert report.ledger.max_link_words <= 8
+        assert report.lengths == undirected_replacement_lengths(inst)
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        from repro.core.rpaths import solve_rpaths
+        from repro.graphs import random_instance
+        inst = random_instance(50, seed=5)
+        a = solve_rpaths(inst, seed=9)
+        b = solve_rpaths(inst, seed=9)
+        assert a.lengths == b.lengths
+        assert a.rounds == b.rounds
+        assert a.messages == b.messages
+
+    def test_short_detour_stage_seed_free(self):
+        # Proposition 4.1 is deterministic: different solver seeds may
+        # change the landmark stage but never the short stage's rounds.
+        from repro.core.rpaths import solve_rpaths
+        from repro.graphs import grid_instance
+        inst = grid_instance(3, 8)
+        a = solve_rpaths(inst, seed=1)
+        b = solve_rpaths(inst, seed=2)
+        assert a.phase_rounds("short-detour(P4.1)") == \
+            b.phase_rounds("short-detour(P4.1)")
+
+    def test_hard_instance_construction_deterministic(self):
+        one = build_hard_instance(2, 2, 1, [[1, 0], [0, 1]], [1, 0, 1, 0])
+        two = build_hard_instance(2, 2, 1, [[1, 0], [0, 1]], [1, 0, 1, 0])
+        assert one.instance.edges == two.instance.edges
+        assert one.instance.path == two.instance.path

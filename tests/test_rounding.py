@@ -1,0 +1,101 @@
+"""Tests for the Section 7.1 rounding machinery (approx.rounding)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.approx.rounding import (
+    Scale,
+    epsilon_as_fraction,
+    scale_ladder,
+    scale_length,
+    subdivided_hops,
+)
+
+
+class TestEpsilonFraction:
+    def test_exact_binary_fractions(self):
+        assert epsilon_as_fraction(0.25) == Fraction(1, 4)
+        assert epsilon_as_fraction(0.5) == Fraction(1, 2)
+
+    def test_never_exceeds_requested(self):
+        for eps in (0.1, 0.3, 0.7, 0.99):
+            assert epsilon_as_fraction(eps) <= Fraction(str(eps))
+
+    def test_out_of_range_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                epsilon_as_fraction(bad)
+
+
+class TestScale:
+    def scale(self, d=8, zeta=4, eps="1/2"):
+        return Scale(d=d, zeta=zeta, eps=Fraction(eps))
+
+    def test_mu_formula(self):
+        s = self.scale()
+        assert s.mu == Fraction(1, 2) * 8 / (2 * 4)  # εd/(2ζ) = 1/2
+
+    def test_delay_is_ceiling(self):
+        s = self.scale()  # μ = 1/2
+        assert s.delay(1) == 2
+        assert s.delay(3) == 6
+
+    def test_delay_rounds_up(self):
+        s = Scale(d=3, zeta=4, eps=Fraction(1, 2))  # μ = 3/16
+        assert s.delay(1) == math.ceil(16 / 3)
+
+    def test_length_of_hops(self):
+        s = self.scale()
+        assert s.length(6) == 3
+
+    def test_hop_budget_formula(self):
+        s = self.scale()  # ζ(1 + 2/ε) = 4 · 5 = 20
+        assert s.hop_budget == 20
+
+    def test_observation_7_3_distances_do_not_shrink(self):
+        # Σ delay(w)·μ ≥ Σ w for any weight multiset.
+        s = Scale(d=10, zeta=7, eps=Fraction(1, 3))
+        for weights in ([1], [2, 5], [1, 1, 1, 9], [13]):
+            assert scale_length(weights, s) >= sum(weights)
+
+    def test_observation_7_4_hop_and_length_bounds(self):
+        # For a ≤ ζ-hop path of weight r ∈ [d/2, d]: hops ≤ ζ(1+2/ε)
+        # and G_d length ≤ (1+ε)·r.
+        zeta = 5
+        for eps in (Fraction(1, 2), Fraction(1, 4)):
+            for weights in ([3, 3], [2, 2, 1, 1], [6], [4, 4, 2]):
+                r = sum(weights)
+                assert len(weights) <= zeta
+                d = 1
+                while d < r:
+                    d *= 2
+                assert d / 2 <= r <= d
+                s = Scale(d=d, zeta=zeta, eps=eps)
+                hops = subdivided_hops(weights, s)
+                assert hops <= s.hop_budget
+                assert scale_length(weights, s) <= (1 + eps) * r
+
+
+class TestLadder:
+    def test_covers_max_length(self):
+        ladder = scale_ladder(zeta=4, epsilon=0.5, max_length=100)
+        assert ladder[-1].d >= 100
+        assert ladder[0].d == 2
+
+    def test_doubling(self):
+        ladder = scale_ladder(zeta=4, epsilon=0.5, max_length=33)
+        ds = [s.d for s in ladder]
+        assert ds == [2, 4, 8, 16, 32, 64]
+
+    def test_logarithmic_count(self):
+        ladder = scale_ladder(zeta=10, epsilon=0.25, max_length=10 ** 6)
+        assert len(ladder) <= 21
+
+    def test_every_r_has_a_scale(self):
+        # For every candidate detour weight r ≥ 1 there is a scale with
+        # d/2 ≤ r ≤ d.
+        ladder = scale_ladder(zeta=3, epsilon=0.5, max_length=500)
+        for r in range(1, 501):
+            assert any(s.d / 2 <= r <= s.d for s in ladder), r

@@ -1,0 +1,45 @@
+"""Tests for 2-SiSP (Definition 2.3 / Corollary 6.2)."""
+
+import pytest
+
+from repro.baselines import two_sisp_length
+from repro.congest.words import INF
+from repro.core.two_sisp import solve_two_sisp
+from tests.conftest import family_instances
+
+
+@pytest.mark.parametrize("idx", range(6))
+def test_matches_oracle(idx):
+    instance = family_instances()[idx]
+    report = solve_two_sisp(
+        instance, landmarks=list(range(instance.n)))
+    assert report.length == two_sisp_length(instance), instance.name
+
+
+def test_sampled_landmarks(chords):
+    report = solve_two_sisp(chords, seed=2, landmark_c=3.0)
+    assert report.length == two_sisp_length(chords)
+
+
+def test_no_second_path_is_inf():
+    from repro.graphs.instance import instance_from_edges
+    inst = instance_from_edges([(0, 1), (1, 2)], path=[0, 1, 2])
+    report = solve_two_sisp(inst, landmarks=[0, 1, 2])
+    assert report.length == INF
+    assert not report.exists
+
+
+def test_aggregation_charged_to_ledger(grid):
+    report = solve_two_sisp(grid, landmarks=list(range(grid.n)))
+    assert "2sisp-aggregate(C6.2)" in report.rpaths.ledger.breakdown()
+    # The aggregation is O(D) on top of the RPaths rounds.
+    agg = report.rpaths.ledger["2sisp-aggregate(C6.2)"].rounds
+    diameter = grid.build_network().undirected_diameter()
+    assert agg <= 4 * diameter + 8
+
+
+def test_exists_flag(double_path):
+    report = solve_two_sisp(double_path,
+                            landmarks=list(range(double_path.n)))
+    assert report.exists
+    assert report.length == double_path.hop_count + 2

@@ -1,0 +1,87 @@
+"""Tests for witness reconstruction and the Section 2 canonical
+decomposition (baselines.witnesses)."""
+
+import pytest
+
+from repro.baselines import replacement_lengths
+from repro.baselines.witnesses import (
+    canonical_decomposition,
+    detour_is_edge_disjoint,
+    replacement_witnesses,
+)
+from repro.congest.words import INF
+from tests.conftest import family_instances
+
+
+@pytest.mark.parametrize("idx", range(6))
+def test_witness_lengths_match_oracle(idx):
+    instance = family_instances()[idx]
+    truth = replacement_lengths(instance)
+    witnesses = replacement_witnesses(instance)
+    assert [w.length for w in witnesses] == truth
+
+
+@pytest.mark.parametrize("idx", range(6))
+def test_witnesses_are_valid_paths(idx):
+    instance = family_instances()[idx]
+    edge_set = {(u, v) for u, v, _ in instance.edges}
+    weights = instance.edge_weight_map()
+    for w in replacement_witnesses(instance):
+        if not w.exists:
+            continue
+        assert w.path[0] == instance.s and w.path[-1] == instance.t
+        total = 0
+        for u, v in zip(w.path, w.path[1:]):
+            assert (u, v) in edge_set
+            assert (u, v) != w.failed_edge
+            total += weights[(u, v)]
+        assert total == w.length
+
+
+@pytest.mark.parametrize("idx", range(6))
+def test_canonical_decomposition_brackets_failed_edge(idx):
+    """Section 2: the detour spans j ≤ i < l for the failed edge i."""
+    instance = family_instances()[idx]
+    for w in replacement_witnesses(instance):
+        if not w.exists:
+            continue
+        assert w.leaves_at <= w.edge_index < w.rejoins_at
+
+
+@pytest.mark.parametrize("idx", range(6))
+def test_detours_edge_disjoint_from_p(idx):
+    """Section 2: a shortest replacement path can be chosen whose detour
+    shares no edge with P — our witness extraction realises it."""
+    instance = family_instances()[idx]
+    for w in replacement_witnesses(instance):
+        if w.exists:
+            assert detour_is_edge_disjoint(
+                instance, w.path, w.leaves_at, w.rejoins_at), \
+                (instance.name, w.edge_index)
+
+
+def test_unreachable_edges_have_no_witness():
+    from repro.graphs.instance import instance_from_edges
+    inst = instance_from_edges([(0, 1), (1, 2)], path=[0, 1, 2])
+    witnesses = replacement_witnesses(inst)
+    assert all(not w.exists and w.length == INF for w in witnesses)
+
+
+def test_decomposition_of_pure_path():
+    from repro.graphs import double_path_instance
+    inst = double_path_instance(5, 2)
+    for w in replacement_witnesses(inst):
+        # The unique replacement uses the fully disjoint alternative:
+        # it leaves at s and rejoins at t.
+        assert (w.leaves_at, w.rejoins_at) == (0, inst.hop_count)
+
+
+def test_decomposition_helper_direct():
+    from repro.graphs import grid_instance
+    inst = grid_instance(3, 5)
+    # A witness that follows P one hop, dips one row, comes back at the
+    # second-to-last column and finishes on P.
+    witness = [0, 1, 6, 7, 8, 3, 4]
+    leave, rejoin = canonical_decomposition(inst, witness)
+    assert leave == 1
+    assert rejoin == 3

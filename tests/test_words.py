@@ -1,0 +1,87 @@
+"""Unit tests for message-size accounting (congest.words)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.congest.words import (
+    INF,
+    clamp_inf,
+    is_unreachable,
+    words_of,
+)
+
+
+class TestWordsOf:
+    def test_none_is_free(self):
+        assert words_of(None) == 0
+
+    def test_int_is_one_word(self):
+        assert words_of(5) == 1
+        assert words_of(-12) == 1
+        assert words_of(INF) == 1
+
+    def test_float_is_one_word(self):
+        assert words_of(3.5) == 1
+
+    def test_bool_is_one_word(self):
+        assert words_of(True) == 1
+
+    def test_fraction_is_two_words(self):
+        assert words_of(Fraction(3, 7)) == 2
+
+    def test_tuple_sums_fields(self):
+        assert words_of((1, 2, 3)) == 3
+        assert words_of(("hop", 4, 7)) == 1 + 1 + 1
+
+    def test_nested_tuple(self):
+        assert words_of((1, (2, 3))) == 3
+
+    def test_empty_tuple(self):
+        assert words_of(()) == 0
+
+    def test_short_string_one_word(self):
+        assert words_of("hop") == 1
+
+    def test_long_string_scales(self):
+        assert words_of("x" * 17) == 3
+
+    def test_dict_counts_keys_and_values(self):
+        assert words_of({1: 2, 3: 4}) == 4
+
+    def test_set_counts_members(self):
+        assert words_of({1, 2, 3}) == 3
+
+    def test_list_like_tuple(self):
+        assert words_of([1, 2]) == 2
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            words_of(object())
+
+
+class TestInfSentinel:
+    def test_inf_is_unreachable(self):
+        assert is_unreachable(INF)
+        assert is_unreachable(INF + 5)
+        assert is_unreachable(None)
+
+    def test_finite_is_reachable(self):
+        assert not is_unreachable(0)
+        assert not is_unreachable(INF - 1)
+
+    def test_non_numeric_is_reachable(self):
+        assert not is_unreachable("not a number")
+
+    def test_clamp_identity_below(self):
+        assert clamp_inf(41) == 41
+
+    def test_clamp_collapses_overflow(self):
+        assert clamp_inf(INF) == INF
+        assert clamp_inf(INF + 123) == INF
+        assert clamp_inf(2 * INF) == INF
+
+    def test_inf_survives_addition_ordering(self):
+        # Sums of a few INFs stay comparable and above any real length.
+        assert INF + INF > INF - 1
+        assert clamp_inf(INF + 7) == INF
