@@ -4,12 +4,19 @@ Every bench regenerates one paper artifact (see DESIGN.md's
 per-experiment index).  Since pytest captures stdout, each bench also
 writes its rendered table to ``benchmarks/results/<name>.txt`` so the
 paper-shaped rows survive a plain ``pytest benchmarks/ --benchmark-only``
-run; EXPERIMENTS.md records the reference numbers.
+run; EXPERIMENTS.md-style reference numbers live in those artifacts.
+
+Benches that sweep many cells go through the runtime executor
+(:func:`scenario_speedup`), which runs the same cells serially and then
+``jobs``-wide and reports the measured wall-clock speedup — on a
+single-core host expect ~1x (the executor still overlaps nothing), on a
+multi-core host the parallel path wins.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -21,3 +28,23 @@ def report(name: str, text: str) -> str:
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}\n")
     return text
+
+
+def scenario_speedup(names, jobs: int = 2, smoke: bool = False,
+                     timeout: float = 300.0):
+    """Run the named scenarios' cells serially, then ``jobs``-wide.
+
+    Returns ``(serial_results, parallel_results, SpeedupStats)``; both
+    executions bypass the result cache so the comparison is honest.
+    """
+    from repro.analysis import speedup_stats
+    from repro.runtime import expand_cells, run_cells
+
+    specs = expand_cells(names, smoke=smoke)
+    t0 = time.perf_counter()
+    serial = run_cells(specs, jobs=1, timeout=timeout)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_cells(specs, jobs=jobs, timeout=timeout)
+    t_parallel = time.perf_counter() - t0
+    return serial, parallel, speedup_stats(t_serial, t_parallel, jobs)

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import approx_quality, format_table
+from repro.analysis import approx_quality, format_records, format_table
 from repro.graphs import path_with_chords_instance, random_instance
 
-from _util import report
+from _util import report, scenario_speedup
 
 EPSILONS = [0.5, 0.25, 0.1]
 
@@ -66,3 +66,35 @@ def bench_approx_rounds_epsilon_tradeoff(benchmark):
         [[eps, r] for (eps, _, r) in rows],
         title="E8 — rounds vs eps (hop budget ~ zeta*(1+2/eps))"))
     assert rounds[0] < rounds[-1]  # ε = 0.5 cheaper than ε = 0.1
+
+
+def bench_approx_runtime_executor(benchmark):
+    """The eps and weight-scale sweeps through the runtime executor.
+
+    Every (eps | max_weight) x seed cell runs as an independent
+    process-pool task; the report includes the measured wall-clock
+    speedup of 2 workers over the serial baseline.
+    """
+    names = ["apx-eps-sweep", "apx-weight-scale"]
+
+    def run():
+        return scenario_speedup(names, jobs=2)
+
+    serial, parallel, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert all(r.ok for r in parallel)
+    assert all(r.correct for r in parallel)  # (1+eps) sandwich holds
+    for a, b in zip(serial, parallel):
+        assert a.metrics == b.metrics, a.spec.label
+    records = [{"scenario": r.scenario, "seed": r.seed,
+                **r.params, **r.metrics} for r in parallel]
+    lines = [
+        format_records(
+            records,
+            ["scenario", "epsilon", "max_weight", "seed",
+             "worst_ratio", "rounds"],
+            title="E8b — Theorem 3 sweeps via the runtime executor"),
+        stats.render(),
+    ]
+    report("approx_executor", "\n".join(lines))
+    assert stats.speedup > 0.3  # pool overhead must never dominate

@@ -11,11 +11,16 @@ floor of the prior lower bound.
 
 from __future__ import annotations
 
-from repro.analysis import fit_power_law, format_series, format_table
+from repro.analysis import (
+    fit_power_law,
+    format_records,
+    format_series,
+    format_table,
+)
 from repro.core.rpaths import solve_rpaths
 from repro.graphs import path_with_chords_instance
 
-from _util import report
+from _util import report, scenario_speedup
 
 SIZES = [32, 64, 128, 256]
 
@@ -71,3 +76,35 @@ def bench_scaling_phase_breakdown(benchmark):
               f"(n={instance.n})"))
     assert rep.phase_rounds("short-detour(P4.1)") > 0
     assert rep.phase_rounds("long-detour(P5.1)") > 0
+
+
+def bench_scaling_runtime_executor(benchmark):
+    """The exact-solver sweep through the runtime executor.
+
+    Same cells the old serial loop ran, now fanned out over the
+    process pool; the report records the measured speedup vs. the
+    serial baseline on 2 workers (hardware-dependent — ~1x on one
+    core, approaching 2x on two).
+    """
+    names = ["exact-chords", "exact-random"]
+
+    def run():
+        return scenario_speedup(names, jobs=2)
+
+    serial, parallel, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert all(r.ok for r in serial)
+    assert all(r.ok for r in parallel)
+    # Parallel execution must not change any measurement.
+    for a, b in zip(serial, parallel):
+        assert a.metrics == b.metrics, a.spec.label
+    records = [{"cell": r.spec.label, **r.metrics,
+                "wall": f"{r.wall_time:.2f}s"} for r in parallel]
+    lines = [
+        format_records(
+            records, ["cell", "rounds", "max_link_words", "wall"],
+            title="E2b — exact sweeps via the runtime executor"),
+        stats.render(),
+    ]
+    report("scaling_executor", "\n".join(lines))
+    assert stats.speedup > 0.3  # pool overhead must never dominate

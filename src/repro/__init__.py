@@ -18,9 +18,13 @@ Public API quick reference
 ``lowerbound.*``
     The Section 6 constructions and the disjointness → 2-SiSP reduction,
     executable end-to-end.
+``runtime.*``
+    The experiment engine: declarative scenario registry, parallel
+    cell executor, and the content-addressed result cache behind
+    ``python -m repro suite``.
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See DESIGN.md for the full system inventory, the runtime quickstart,
+and the per-experiment index.
 """
 
 from .congest.words import INF, is_unreachable

@@ -3,10 +3,12 @@
 from .scaling import (
     InvarianceStats,
     PowerLawFit,
+    SpeedupStats,
     fit_power_law,
     invariance,
+    speedup_stats,
 )
-from .tables import format_series, format_table
+from .tables import format_records, format_series, format_table
 from .experiments import (
     AlgorithmRun,
     approx_quality,
@@ -19,12 +21,15 @@ __all__ = [
     "AlgorithmRun",
     "InvarianceStats",
     "PowerLawFit",
+    "SpeedupStats",
     "approx_quality",
     "fit_power_law",
+    "format_records",
     "format_series",
     "format_table",
     "hst_sweep",
     "invariance",
     "run_table1_cell",
     "scaling_series",
+    "speedup_stats",
 ]

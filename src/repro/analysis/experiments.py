@@ -1,23 +1,22 @@
-"""Experiment drivers shared by the benchmark harness and EXPERIMENTS.md.
+"""Experiment drivers shared by the benchmark harness and the suite.
 
 Each function reproduces one paper artifact (see DESIGN.md's
 per-experiment index) and returns plain data structures the benches
-print with :mod:`~repro.analysis.tables`.
+print with :mod:`~repro.analysis.tables`.  All measurement flows
+through :func:`repro.runtime.measure_algorithm`, so the benches, the
+``repro suite`` engine, and the CLI count rounds, words, and oracle
+correctness identically.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.centralized import replacement_lengths
-from ..baselines.mr24 import solve_rpaths_mr24
-from ..baselines.naive_distributed import solve_rpaths_naive
-from ..congest.words import INF
-from ..core.rpaths import solve_rpaths
-from ..graphs.generators import path_with_chords_instance, random_instance
+from ..graphs.generators import path_with_chords_instance
 from ..graphs.instance import RPathsInstance
+from ..runtime.measure import measure_algorithm
 from .scaling import PowerLawFit, fit_power_law
 
 
@@ -34,8 +33,11 @@ class AlgorithmRun:
     max_link_words: int = 0
 
 
-def _check(lengths: Sequence[int], truth: Sequence[int]) -> bool:
-    return list(lengths) == list(truth)
+def _to_run(instance: RPathsInstance, measurement) -> AlgorithmRun:
+    return AlgorithmRun(
+        measurement.algorithm, instance.name, instance.n,
+        instance.hop_count, measurement.rounds, measurement.correct,
+        measurement.max_link_words)
 
 
 def run_table1_cell(
@@ -45,27 +47,14 @@ def run_table1_cell(
 ) -> List[AlgorithmRun]:
     """One Table-1 row group: ours vs MR24b vs trivial on one instance."""
     truth = replacement_lengths(instance)
-    runs: List[AlgorithmRun] = []
-
-    ours = solve_rpaths(instance, seed=seed)
-    runs.append(AlgorithmRun(
-        "theorem1", instance.name, instance.n, instance.hop_count,
-        ours.rounds, _check(ours.lengths, truth),
-        ours.max_link_words))
-
-    mr = solve_rpaths_mr24(instance, seed=seed)
-    runs.append(AlgorithmRun(
-        "mr24b", instance.name, instance.n, instance.hop_count,
-        mr.rounds, _check(mr.lengths, truth),
-        mr.ledger.max_link_words))
-
+    algorithms = ["theorem1", "mr24b"]
     if include_naive:
-        nv = solve_rpaths_naive(instance)
-        runs.append(AlgorithmRun(
-            "trivial", instance.name, instance.n, instance.hop_count,
-            nv.rounds, _check(nv.lengths, truth),
-            nv.ledger.max_link_words))
-    return runs
+        algorithms.append("trivial")
+    return [
+        _to_run(instance, measure_algorithm(
+            instance, algorithm, seed=seed, truth=truth))
+        for algorithm in algorithms
+    ]
 
 
 def scaling_series(
@@ -79,14 +68,9 @@ def scaling_series(
     rounds: List[int] = []
     for size in sizes:
         instance = builder(size, seed)
-        if algorithm == "theorem1":
-            rounds.append(solve_rpaths(instance, seed=seed).rounds)
-        elif algorithm == "mr24b":
-            rounds.append(solve_rpaths_mr24(instance, seed=seed).rounds)
-        elif algorithm == "trivial":
-            rounds.append(solve_rpaths_naive(instance).rounds)
-        else:
-            raise ValueError(f"unknown algorithm {algorithm!r}")
+        measurement = measure_algorithm(
+            instance, algorithm, seed=seed, check=False)
+        rounds.append(measurement.rounds)
         ns.append(instance.n)
     return ns, rounds, fit_power_law(ns, rounds)
 
@@ -122,19 +106,14 @@ def approx_quality(
     landmarks: Optional[Sequence[int]] = None,
 ) -> List[Tuple[float, float, int]]:
     """(ε, worst measured ratio, rounds) triples — experiment E8."""
-    from ..approx.apx_rpaths import solve_apx_rpaths
-
     truth = replacement_lengths(instance)
     rows: List[Tuple[float, float, int]] = []
     for eps in epsilons:
-        report = solve_apx_rpaths(
-            instance, epsilon=eps, seed=seed, landmarks=landmarks)
-        worst = 1.0
-        for got, want in zip(report.lengths, truth):
-            if want >= INF:
-                assert got == float("inf")
-                continue
-            ratio = got / want
-            worst = max(worst, ratio)
-        rows.append((eps, worst, report.rounds))
+        measurement = measure_algorithm(
+            instance, "apx", seed=seed, epsilon=eps, truth=truth,
+            landmarks=landmarks)
+        assert measurement.correct, (
+            f"(1+{eps}) guarantee violated on {instance.name}")
+        rows.append((eps, float(measurement.extras["worst_ratio"]),
+                     measurement.rounds))
     return rows

@@ -53,6 +53,39 @@ def fit_power_law(ns: Sequence[float],
 
 
 @dataclass
+class SpeedupStats:
+    """Wall-clock comparison of a serial and a parallel execution.
+
+    Used by the benches to report what the runtime executor buys on the
+    current hardware; ``efficiency`` is speedup per worker (1.0 means
+    perfect scaling, ~1/workers means the host has a single core).
+    """
+
+    serial_seconds: float
+    parallel_seconds: float
+    workers: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / max(1e-9, self.parallel_seconds)
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / max(1, self.workers)
+
+    def render(self) -> str:
+        return (f"serial {self.serial_seconds:.2f}s vs parallel "
+                f"{self.parallel_seconds:.2f}s on {self.workers} "
+                f"workers: {self.speedup:.2f}x speedup "
+                f"(efficiency {self.efficiency:.2f})")
+
+
+def speedup_stats(serial_seconds: float, parallel_seconds: float,
+                  workers: int) -> SpeedupStats:
+    return SpeedupStats(serial_seconds, parallel_seconds, workers)
+
+
+@dataclass
 class InvarianceStats:
     """How flat a series is — used for the h_st-independence claim."""
 

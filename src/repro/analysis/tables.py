@@ -44,3 +44,22 @@ def format_series(label: str, xs: Sequence[object],
     """One-line series rendering: label: (x=y), (x=y), ..."""
     pairs = ", ".join(f"{x}={_render(y)}" for x, y in zip(xs, ys))
     return f"{label}: {pairs}"
+
+
+def format_records(records: Sequence[object],
+                   columns: Sequence[str],
+                   title: str = "") -> str:
+    """Table from uniform mappings/objects, one row per record.
+
+    ``records`` may be mappings or attribute-bearing objects (e.g.
+    :class:`~repro.runtime.results.CellResult` metrics dicts or
+    dataclasses); missing fields render as ``-``.
+    """
+    def fetch(record: object, column: str) -> object:
+        if isinstance(record, dict):
+            return record.get(column, "-")
+        return getattr(record, column, "-")
+
+    rows = [[fetch(record, column) for column in columns]
+            for record in records]
+    return format_table(columns, rows, title=title)

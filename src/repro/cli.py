@@ -12,6 +12,11 @@ compare
 lower-bound
     Build G(k, d, p, φ, M, x) for random (M, x), verify Lemma 6.8, and
     run the disjointness reduction.
+suite
+    The experiment runtime: ``suite list`` shows the scenario catalog,
+    ``suite run`` executes scenario cells in parallel against the
+    content-addressed result cache, ``suite diff`` compares two run
+    manifests.
 info
     Print the library version and the experiment index.
 """
@@ -134,11 +139,86 @@ def cmd_lower_bound(args) -> int:
     return 0 if report.holds and red.correct else 1
 
 
+def cmd_suite_list(args) -> int:
+    from .runtime import all_scenarios
+    rows = []
+    for scen in all_scenarios():
+        rows.append([
+            scen.name,
+            len(scen.cells()),
+            len(scen.cells(smoke=True)),
+            ",".join(scen.tags) or "-",
+            scen.description,
+        ])
+    print(format_table(
+        ["scenario", "cells", "smoke", "tags", "description"], rows,
+        title="registered scenarios"))
+    return 0
+
+
+def cmd_suite_run(args) -> int:
+    from .runtime import (
+        ResultStore,
+        default_jobs,
+        format_suite_report,
+        run_suite,
+    )
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    try:
+        report = run_suite(
+            names=args.scenario or None,
+            jobs=args.jobs if args.jobs is not None else default_jobs(),
+            smoke=args.smoke,
+            use_cache=not args.no_cache,
+            store=store,
+            timeout=args.timeout,
+            label=args.label,
+            record=not args.no_record,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    title = ("suite results (smoke)" if args.smoke else "suite results")
+    print(format_suite_report(report, title=title))
+    if not report.ok:
+        for r in report.results:
+            if not r.ok:
+                print(f"FAILED {r.spec.label}: {r.status} {r.error}")
+    if not report.all_correct:
+        for r in report.results:
+            if r.correct is False:
+                print(f"INCORRECT {r.spec.label}")
+    return 0 if (report.ok and report.all_correct) else 1
+
+
+def cmd_suite_diff(args) -> int:
+    from .runtime import diff_results
+    from .runtime.store import ResultStore
+    try:
+        old = ResultStore.load_run(args.old)
+        new = ResultStore.load_run(args.new)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot read run manifest: {exc!r}")
+    report = diff_results(old, new)
+    print(f"diff {args.old} -> {args.new}: {report.summary()}")
+    for identity in report.removed:
+        print(f"  removed: {identity}")
+    for identity in report.added:
+        print(f"  added:   {identity}")
+    for cell in report.changed:
+        print(f"  changed: {cell.identity}")
+        for metric, (a, b) in sorted(cell.changed.items()):
+            print(f"           {metric}: {a} -> {b}")
+    return 0 if report.clean else 1
+
+
 def cmd_info(_args) -> int:
+    from .runtime import scenario_names
     print(f"repro {__version__} — reproduction of 'Optimal Distributed "
           "Replacement Paths' (PODC 2025)")
-    print("experiments: see DESIGN.md (index) and EXPERIMENTS.md "
-          "(paper vs measured); benches under benchmarks/")
+    print("experiments: see DESIGN.md (layout + runtime quickstart); "
+          "benches under benchmarks/")
+    names = scenario_names()
+    print(f"scenario catalog ({len(names)}): {', '.join(names)}")
     return 0
 
 
@@ -179,6 +259,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_lb.add_argument("--p", type=int, default=1)
     p_lb.add_argument("--seed", type=int, default=0)
     p_lb.set_defaults(func=cmd_lower_bound)
+
+    p_suite = sub.add_parser(
+        "suite", help="scenario registry + parallel experiment engine")
+    suite_sub = p_suite.add_subparsers(dest="suite_command",
+                                       required=True)
+
+    p_list = suite_sub.add_parser("list", help="show the catalog")
+    p_list.set_defaults(func=cmd_suite_list)
+
+    p_run = suite_sub.add_parser(
+        "run", help="run scenario cells (parallel, cached)")
+    p_run.add_argument("--scenario", action="append", default=[],
+                       help="scenario name (repeatable; default: all)")
+    p_run.add_argument("--jobs", type=int, default=None,
+                       help="parallel worker processes "
+                            "(default: one per CPU)")
+    p_run.add_argument("--smoke", action="store_true",
+                       help="tiny parameter points only (CI-sized)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not update the "
+                            "content-addressed result cache "
+                            "(run manifests are still recorded)")
+    p_run.add_argument("--no-record", action="store_true",
+                       help="do not write a run manifest")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="result store root (default .repro-cache "
+                            "or $REPRO_CACHE_DIR)")
+    p_run.add_argument("--timeout", type=float, default=300.0,
+                       help="per-cell timeout in seconds")
+    p_run.add_argument("--label", default="suite",
+                       help="run-manifest label")
+    p_run.set_defaults(func=cmd_suite_run)
+
+    p_diff = suite_sub.add_parser(
+        "diff", help="compare two run manifests (JSONL)")
+    p_diff.add_argument("old", help="baseline run manifest path")
+    p_diff.add_argument("new", help="candidate run manifest path")
+    p_diff.set_defaults(func=cmd_suite_diff)
 
     p_info = sub.add_parser("info", help="version and experiment map")
     p_info.set_defaults(func=cmd_info)

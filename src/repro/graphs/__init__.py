@@ -3,18 +3,22 @@
 from .instance import RPathsInstance, instance_from_edges
 from .generators import (
     double_path_instance,
+    expander_instance,
     grid_instance,
     layered_instance,
     path_with_chords_instance,
+    power_law_instance,
     random_instance,
 )
 
 __all__ = [
     "RPathsInstance",
     "double_path_instance",
+    "expander_instance",
     "grid_instance",
     "instance_from_edges",
     "layered_instance",
     "path_with_chords_instance",
+    "power_law_instance",
     "random_instance",
 ]

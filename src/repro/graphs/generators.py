@@ -14,10 +14,17 @@ pull them apart.  Each generator here targets one regime:
   same hop count, so replacement paths are plentiful and exercised;
 * :func:`grid_instance` — directed grids with systematic two-hop detours;
 * :func:`double_path_instance` — the minimal two-parallel-paths family
-  (also the Ω(D) lower-bound shape from the proof of Theorem 2).
+  (also the Ω(D) lower-bound shape from the proof of Theorem 2);
+* :func:`expander_instance` — near-regular random digraphs with
+  logarithmic diameter and dense detour structure;
+* :func:`power_law_instance` — preferential-attachment digraphs whose
+  hubs concentrate congestion.
 
 All generators take an explicit ``seed`` and return validated
-:class:`~repro.graphs.instance.RPathsInstance` objects.
+:class:`~repro.graphs.instance.RPathsInstance` objects.  Stochastic
+generators additionally accept a shared ``rng`` (``random.Random``), so
+a scenario spec can thread one reproducible stream through several
+builds; no generator ever touches the global ``random`` state.
 """
 
 from __future__ import annotations
@@ -30,6 +37,12 @@ from ..congest.words import INF
 from .instance import RPathsInstance
 
 Edge = Tuple[int, int]
+
+
+def _resolve_rng(seed: int, rng: Optional[random.Random]) -> random.Random:
+    """The single randomness funnel: an explicit stream wins, else a
+    fresh ``random.Random(seed)`` — never the global module state."""
+    return rng if rng is not None else random.Random(seed)
 
 
 def _shortest_path_via_parents(instance: RPathsInstance, s: int,
@@ -90,40 +103,30 @@ def _connect_support(n: int, edges: Set[Edge], rng: random.Random) -> None:
             union(u, v)
 
 
-def random_instance(
+def _finalize_random_instance(
     n: int,
-    avg_degree: float = 4.0,
-    seed: int = 0,
-    weighted: bool = False,
-    max_weight: int = 16,
-    name: str = "",
+    edges: Set[Edge],
+    rng: random.Random,
+    weighted: bool,
+    max_weight: int,
+    name: str,
 ) -> RPathsInstance:
-    """Sparse Erdős–Rényi-style digraph with an extracted shortest path.
+    """Weight the edge set, pick a far (s, t) pair, extract P, validate.
 
-    s is vertex 0; t is a finite-distance vertex of maximal distance, so
-    h_st is the (small, O(log n)-ish) directed eccentricity.
+    Shared tail of every random-ish family: s is scanned over a prefix
+    of vertices for good forward reach (a fixed source can be a sink in
+    a sparse random digraph), then t is the farthest reachable vertex.
     """
-    rng = random.Random(seed)
-    target_m = max(n, int(avg_degree * n / 2))
-    edges: Set[Edge] = set()
-    while len(edges) < target_m:
-        u = rng.randrange(n)
-        v = rng.randrange(n)
-        if u != v:
-            edges.add((u, v))
-    _connect_support(n, edges, rng)
     weights: Dict[Edge, int] = {}
     if weighted:
-        weights = {e: rng.randint(1, max_weight) for e in edges}
+        weights = {e: rng.randint(1, max_weight) for e in sorted(edges)}
     instance = RPathsInstance(
         n=n,
         edges=[(u, v, weights.get((u, v), 1)) for u, v in sorted(edges)],
         path=[0, 1],  # placeholder until extraction below
         weighted=weighted,
-        name=name or f"random(n={n},seed={seed})",
+        name=name,
     )
-    # Pick a source with good forward reach (a fixed source can be a
-    # sink in a sparse random digraph), then the farthest reachable t.
     best_pair = None
     for s in range(min(n, 25)):
         dist = instance.dijkstra(s)
@@ -141,6 +144,110 @@ def random_instance(
     return instance
 
 
+def random_instance(
+    n: int,
+    avg_degree: float = 4.0,
+    seed: int = 0,
+    weighted: bool = False,
+    max_weight: int = 16,
+    name: str = "",
+    rng: Optional[random.Random] = None,
+) -> RPathsInstance:
+    """Sparse Erdős–Rényi-style digraph with an extracted shortest path.
+
+    s is vertex 0; t is a finite-distance vertex of maximal distance, so
+    h_st is the (small, O(log n)-ish) directed eccentricity.
+    """
+    rng = _resolve_rng(seed, rng)
+    target_m = max(n, int(avg_degree * n / 2))
+    edges: Set[Edge] = set()
+    while len(edges) < target_m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+    _connect_support(n, edges, rng)
+    return _finalize_random_instance(
+        n, edges, rng, weighted, max_weight,
+        name or f"random(n={n},seed={seed})")
+
+
+def expander_instance(
+    n: int,
+    degree: int = 4,
+    seed: int = 0,
+    weighted: bool = False,
+    max_weight: int = 16,
+    name: str = "",
+    rng: Optional[random.Random] = None,
+) -> RPathsInstance:
+    """Near-regular expander-style digraph: ``degree`` random
+    out-neighbours per vertex via random cyclic shifts.
+
+    Each of the ``degree`` rounds adds one random permutation's cycle
+    edges (u -> π(u)), so in- and out-degrees stay balanced and the
+    diameter is logarithmic with high probability — the small-D,
+    detour-rich regime where Theorem 1's additive D term vanishes.
+    """
+    if n < 3:
+        raise ValueError("expander needs at least three vertices")
+    if degree < 2:
+        raise ValueError("expander needs degree >= 2")
+    rng = _resolve_rng(seed, rng)
+    edges: Set[Edge] = set()
+    for _ in range(degree):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        for u in range(n):
+            v = perm[u]
+            if u != v:
+                edges.add((u, v))
+    _connect_support(n, edges, rng)
+    return _finalize_random_instance(
+        n, edges, rng, weighted, max_weight,
+        name or f"expander(n={n},d={degree},seed={seed})")
+
+
+def power_law_instance(
+    n: int,
+    attach: int = 2,
+    seed: int = 0,
+    weighted: bool = False,
+    max_weight: int = 16,
+    name: str = "",
+    rng: Optional[random.Random] = None,
+) -> RPathsInstance:
+    """Preferential-attachment digraph (Barabási–Albert flavoured).
+
+    Vertex v attaches to ``attach`` earlier vertices sampled
+    proportionally to their current degree, with random edge
+    orientation.  The resulting hubs concentrate link load, which
+    stresses the congestion accounting rather than the round count.
+    """
+    if n < 3 or attach < 1:
+        raise ValueError("need n >= 3 and attach >= 1")
+    rng = _resolve_rng(seed, rng)
+    edges: Set[Edge] = set()
+    # Degree-weighted sampling via a repeated-endpoint urn.
+    urn: List[int] = [0, 1]
+    edges.add((0, 1))
+    for v in range(2, n):
+        targets: Set[int] = set()
+        want = min(attach, v)
+        while len(targets) < want:
+            targets.add(urn[rng.randrange(len(urn))])
+        for u in targets:
+            edge = (u, v) if rng.random() < 0.5 else (v, u)
+            if edge not in edges:
+                edges.add(edge)
+            urn.append(u)
+            urn.append(v)
+    _connect_support(n, edges, rng)
+    return _finalize_random_instance(
+        n, edges, rng, weighted, max_weight,
+        name or f"powerlaw(n={n},a={attach},seed={seed})")
+
+
 def path_with_chords_instance(
     hops: int,
     detour_every: int = 4,
@@ -151,6 +258,7 @@ def path_with_chords_instance(
     max_weight: int = 8,
     overlay_hub: bool = False,
     name: str = "",
+    rng: Optional[random.Random] = None,
 ) -> RPathsInstance:
     """A long planted path P (h_st = ``hops``) with detour gadgets.
 
@@ -168,7 +276,7 @@ def path_with_chords_instance(
     """
     if hops < 2:
         raise ValueError("need at least two path hops")
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     path = list(range(hops + 1))
     edges: Set[Edge] = set(zip(path, path[1:]))
     n = hops + 1
@@ -228,6 +336,7 @@ def layered_instance(
     weighted: bool = False,
     max_weight: int = 8,
     name: str = "",
+    rng: Optional[random.Random] = None,
 ) -> RPathsInstance:
     """A leveled DAG: ``layers`` levels of ``width`` vertices.
 
@@ -238,7 +347,7 @@ def layered_instance(
     """
     if layers < 2 or width < 1:
         raise ValueError("need at least two layers and width >= 1")
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
 
     def vid(level: int, slot: int) -> int:
         return 1 + (level * width + slot)

@@ -1,0 +1,309 @@
+"""The standard scenario catalog.
+
+Every experimental regime the repository knows about is registered here
+as a declarative :class:`~repro.runtime.registry.Scenario`: the exact
+Theorem 1 solver across topologies (including the new expander and
+power-law families), the Theorem 3 (1+eps) sweeps over eps and weight
+scale, 2-SiSP, the undirected extension, the MR24b/trivial baselines,
+the Section 6 lower-bound constructions, and fault injection under a
+strict bandwidth budget.
+
+Run functions are plain module-level functions taking ``(params, seed)``
+and returning a flat metrics dict, so worker processes can re-import
+them by scenario name.  Keep cell sizes modest: a full ``repro suite
+run`` should finish in tens of seconds, a ``--smoke`` run in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .measure import measure_algorithm
+from .registry import scenario
+
+Params = Dict[str, object]
+
+
+# -- exact RPaths (Theorem 1) across topologies ------------------------------
+
+@scenario(
+    "exact-random",
+    params=[{"n": 40}, {"n": 64}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 24}],
+    description="Theorem 1 on sparse random digraphs (small D, small "
+                "h_st: the trivial baseline's favourite regime)",
+    tags=("exact", "theorem1"),
+)
+def run_exact_random(params: Params, seed: int):
+    from ..graphs.generators import random_instance
+    inst = random_instance(int(params["n"]), seed=seed)
+    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+
+
+@scenario(
+    "exact-chords",
+    params=[{"hops": 24}, {"hops": 40}],
+    seeds=[0, 1],
+    smoke_params=[{"hops": 12}],
+    description="Theorem 1 on the h_st = Theta(n) chords+hub family "
+                "(the regime separating it from both baselines)",
+    tags=("exact", "theorem1"),
+)
+def run_exact_chords(params: Params, seed: int):
+    from ..graphs.generators import path_with_chords_instance
+    inst = path_with_chords_instance(
+        int(params["hops"]), seed=seed, overlay_hub=True)
+    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+
+
+@scenario(
+    "exact-grid",
+    params=[{"rows": 4, "cols": 8}, {"rows": 5, "cols": 10}],
+    seeds=[0],
+    smoke_params=[{"rows": 3, "cols": 5}],
+    description="Theorem 1 on directed grids (deterministic +2-hop "
+                "detour ground truth)",
+    tags=("exact", "theorem1", "topology"),
+)
+def run_exact_grid(params: Params, seed: int):
+    from ..graphs.generators import grid_instance
+    inst = grid_instance(int(params["rows"]), int(params["cols"]))
+    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+
+
+@scenario(
+    "exact-layered",
+    params=[{"layers": 6, "width": 3}, {"layers": 8, "width": 4}],
+    seeds=[0, 1],
+    smoke_params=[{"layers": 4, "width": 2}],
+    description="Theorem 1 on leveled DAGs where every s-t path is "
+                "shortest and replacement paths abound",
+    tags=("exact", "theorem1", "topology"),
+)
+def run_exact_layered(params: Params, seed: int):
+    from ..graphs.generators import layered_instance
+    inst = layered_instance(
+        int(params["layers"]), int(params["width"]), seed=seed)
+    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+
+
+@scenario(
+    "topo-expander",
+    params=[{"n": 40, "degree": 4}, {"n": 64, "degree": 4}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 24, "degree": 3}],
+    description="Theorem 1 on near-regular expander-style digraphs "
+                "(logarithmic D, dense detour structure)",
+    tags=("exact", "theorem1", "topology"),
+)
+def run_topo_expander(params: Params, seed: int):
+    from ..graphs.generators import expander_instance
+    inst = expander_instance(
+        int(params["n"]), degree=int(params["degree"]), seed=seed)
+    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+
+
+@scenario(
+    "topo-powerlaw",
+    params=[{"n": 40, "attach": 2}, {"n": 64, "attach": 2}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 24, "attach": 2}],
+    description="Theorem 1 on preferential-attachment power-law "
+                "digraphs (hub-dominated congestion)",
+    tags=("exact", "theorem1", "topology"),
+)
+def run_topo_powerlaw(params: Params, seed: int):
+    from ..graphs.generators import power_law_instance
+    inst = power_law_instance(
+        int(params["n"]), attach=int(params["attach"]), seed=seed)
+    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+
+
+# -- approximate RPaths (Theorem 3) sweeps -----------------------------------
+
+@scenario(
+    "apx-eps-sweep",
+    params=[{"n": 32, "epsilon": 0.5},
+            {"n": 32, "epsilon": 0.25},
+            {"n": 32, "epsilon": 0.1}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 20, "epsilon": 0.5}],
+    description="Theorem 3 (1+eps) sandwich and round cost as eps "
+                "shrinks on weighted random digraphs",
+    tags=("approx", "theorem3", "sweep"),
+)
+def run_apx_eps_sweep(params: Params, seed: int):
+    from ..graphs.generators import random_instance
+    inst = random_instance(int(params["n"]), seed=seed, weighted=True)
+    return measure_algorithm(
+        inst, "apx", seed=seed,
+        epsilon=float(params["epsilon"])).metrics()
+
+
+@scenario(
+    "apx-weight-scale",
+    params=[{"n": 28, "max_weight": 4},
+            {"n": 28, "max_weight": 64},
+            {"n": 28, "max_weight": 512}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 18, "max_weight": 8}],
+    description="Theorem 3 weight-scale sweep: the scale ladder grows "
+                "with log(max weight), the guarantee must not",
+    tags=("approx", "theorem3", "sweep"),
+)
+def run_apx_weight_scale(params: Params, seed: int):
+    from ..graphs.generators import random_instance
+    inst = random_instance(
+        int(params["n"]), seed=seed, weighted=True,
+        max_weight=int(params["max_weight"]))
+    return measure_algorithm(
+        inst, "apx", seed=seed, epsilon=0.25).metrics()
+
+
+# -- 2-SiSP and the undirected extension -------------------------------------
+
+@scenario(
+    "two-sisp",
+    params=[{"family": "double-path", "size": 10},
+            {"family": "random", "size": 40}],
+    seeds=[0, 1],
+    smoke_params=[{"family": "double-path", "size": 6}],
+    description="Corollary 6.2: 2-SiSP = RPaths + O(D) aggregation, "
+                "checked against the centralized 2-SiSP length",
+    tags=("exact", "two-sisp"),
+)
+def run_two_sisp(params: Params, seed: int):
+    from ..graphs.generators import double_path_instance, random_instance
+    if params["family"] == "double-path":
+        inst = double_path_instance(int(params["size"]), extra=2)
+    else:
+        inst = random_instance(int(params["size"]), seed=seed)
+    return measure_algorithm(inst, "two-sisp", seed=seed).metrics()
+
+
+@scenario(
+    "undirected-extension",
+    params=[{"n": 36, "weighted": False}, {"n": 36, "weighted": True}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 20, "weighted": False}],
+    description="Undirected RPaths in O(T_SSSP + h_st + D) rounds "
+                "(the [HS01]/[MMG89] structure)",
+    tags=("extension", "undirected"),
+)
+def run_undirected(params: Params, seed: int):
+    from ..extensions.undirected import random_undirected_instance
+    inst = random_undirected_instance(
+        int(params["n"]), seed=seed, weighted=bool(params["weighted"]))
+    return measure_algorithm(inst, "undirected", seed=seed).metrics()
+
+
+# -- baselines ----------------------------------------------------------------
+
+@scenario(
+    "baseline-mr24",
+    params=[{"hops": 20}, {"hops": 32}],
+    seeds=[0, 1],
+    smoke_params=[{"hops": 10}],
+    description="MR24b-style baseline on the chords family (the "
+                "sqrt(n h_st) regime Theorem 1 improves on)",
+    tags=("baseline",),
+)
+def run_baseline_mr24(params: Params, seed: int):
+    from ..graphs.generators import path_with_chords_instance
+    inst = path_with_chords_instance(int(params["hops"]), seed=seed)
+    return measure_algorithm(inst, "mr24b", seed=seed).metrics()
+
+
+@scenario(
+    "baseline-trivial",
+    params=[{"hops": 20}, {"hops": 32}],
+    seeds=[0, 1],
+    smoke_params=[{"hops": 10}],
+    description="Trivial h_st x SSSP baseline on the chords family "
+                "(rounds grow linearly with h_st)",
+    tags=("baseline",),
+)
+def run_baseline_trivial(params: Params, seed: int):
+    from ..graphs.generators import path_with_chords_instance
+    inst = path_with_chords_instance(int(params["hops"]), seed=seed)
+    return measure_algorithm(inst, "trivial", seed=seed).metrics()
+
+
+# -- lower bound and robustness ----------------------------------------------
+
+@scenario(
+    "lowerbound-hard",
+    params=[{"k": 2, "d": 2, "p": 1}, {"k": 3, "d": 2, "p": 1}],
+    seeds=[0, 1],
+    smoke_params=[{"k": 2, "d": 2, "p": 1}],
+    description="Section 6 hard instance G(k,d,p): Lemma 6.8 "
+                "dichotomy plus the disjointness reduction",
+    tags=("lowerbound",),
+)
+def run_lowerbound_hard(params: Params, seed: int):
+    import random as _random
+
+    from ..lowerbound import (
+        build_hard_instance,
+        decide_disjointness_via_two_sisp,
+        verify_correspondence,
+    )
+    rng = _random.Random(seed)
+    k = int(params["k"])
+    matrix = [[rng.randint(0, 1) for _ in range(k)] for _ in range(k)]
+    x = [rng.randint(0, 1) for _ in range(k * k)]
+    hard = build_hard_instance(
+        k, int(params["d"]), int(params["p"]), matrix, x)
+    report = verify_correspondence(hard)
+    xx = [rng.randint(0, 1) for _ in range(4)]
+    yy = [rng.randint(0, 1) for _ in range(4)]
+    red = decide_disjointness_via_two_sisp(
+        xx, yy, 2, use_oracle_knowledge=True)
+    return {
+        "n": hard.n,
+        "m": len(hard.instance.edges),
+        "hop_count": hard.instance.hop_count,
+        "rounds": red.rounds,
+        "messages": 0,
+        "words": 0,
+        "max_link_words": 0,
+        "violations": 0,
+        "correct": bool(report.holds and red.correct),
+        "optimal_length": report.optimal_length,
+        "hit_count": report.hit_count,
+    }
+
+
+@scenario(
+    "fault-injection",
+    params=[{"rows": 3, "cols": 6, "bandwidth": 8}],
+    seeds=[0, 1],
+    smoke_params=[{"rows": 3, "cols": 5, "bandwidth": 8}],
+    description="Theorem 1 under a strict per-link word budget: zero "
+                "violations, and genuine overloads must raise",
+    tags=("robustness",),
+)
+def run_fault_injection(params: Params, seed: int):
+    from ..congest.errors import BandwidthExceededError
+    from ..congest.network import CongestNetwork
+    from ..graphs.generators import grid_instance
+
+    inst = grid_instance(int(params["rows"]), int(params["cols"]))
+    meas = measure_algorithm(
+        inst, "theorem1", seed=seed,
+        landmarks=list(range(inst.n)),
+        bandwidth_words=int(params["bandwidth"]))
+    metrics = meas.metrics()
+    # The second half of the scenario: a genuinely overloaded strict
+    # network must fail loudly, not drop words.
+    net = CongestNetwork(2, [(0, 1)], bandwidth_words=1, strict=True)
+    try:
+        net.exchange({0: [(1, (1, 2, 3, 4))]})
+        detected = False
+    except BandwidthExceededError:
+        detected = True
+    metrics["overload_detected"] = detected
+    metrics["correct"] = bool(
+        metrics["correct"] and metrics["violations"] == 0 and detected)
+    return metrics

@@ -1,0 +1,173 @@
+"""Parallel experiment execution over scenario cells.
+
+Cells fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(the solvers are pure-Python CPU work, so threads would serialize on
+the GIL).  Workers receive only ``(scenario name, params, seed)`` and
+re-import the registry, which keeps the wire format trivially picklable
+and guarantees a worker measures exactly what a serial run measures.
+
+Per-cell timeouts are enforced *inside* the worker with ``SIGALRM``
+where available (a timed-out cell yields a structured ``timeout``
+result and the worker survives).  A parent-side
+``future.result(timeout=...)`` backstop additionally marks cells whose
+worker went silent; note that without ``SIGALRM`` the hung worker
+process itself cannot be reclaimed (``Future.cancel`` cannot stop a
+running call), so on such platforms pool shutdown may still wait on
+it — queued cells are cancelled, results already collected are kept.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .results import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellResult,
+    CellSpec,
+)
+
+#: Extra parent-side grace on top of the worker-side alarm.
+_PARENT_GRACE = 10.0
+
+_HAS_ALARM = hasattr(signal, "SIGALRM")
+
+
+class _CellTimeout(Exception):
+    pass
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - signal path
+    raise _CellTimeout()
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def execute_cell(spec: CellSpec,
+                 timeout: Optional[float] = None) -> CellResult:
+    """Run one cell to completion in the current process."""
+    from .registry import get_scenario
+
+    if timeout is not None and timeout <= 0:
+        timeout = None  # non-positive means "no limit", not "cancel"
+    start = time.perf_counter()
+    old_handler = None
+    old_timer = (0.0, 0.0)
+    use_alarm = (timeout is not None and _HAS_ALARM)
+    if use_alarm:
+        try:
+            old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+            old_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+        except ValueError:
+            # Not in the main thread of this process: fall back to the
+            # parent-side backstop.
+            use_alarm = False
+    try:
+        scen = get_scenario(spec.scenario)
+        metrics = scen.run_cell(spec.params_dict, spec.seed)
+        status, error = STATUS_OK, ""
+    except _CellTimeout:
+        metrics, status = {}, STATUS_TIMEOUT
+        error = f"cell exceeded {timeout:.1f}s"
+    except Exception as exc:  # noqa: BLE001 - cell isolation boundary
+        metrics, status = {}, STATUS_ERROR
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if use_alarm:
+            # Restore any pre-existing watchdog (handler AND remaining
+            # timer), not just cancel ours.
+            signal.setitimer(signal.ITIMER_REAL, *old_timer)
+            signal.signal(signal.SIGALRM, old_handler)
+    return CellResult(
+        scenario=spec.scenario,
+        params=spec.params_dict,
+        seed=spec.seed,
+        status=status,
+        metrics=dict(metrics),
+        wall_time=time.perf_counter() - start,
+        error=error,
+    )
+
+
+def _worker(args: Tuple[CellSpec, Optional[float]]) -> CellResult:
+    spec, timeout = args
+    return execute_cell(spec, timeout=timeout)
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[CellResult], None]] = None,
+) -> List[CellResult]:
+    """Execute ``specs``, ``jobs``-wide, preserving input order.
+
+    ``jobs <= 1`` runs serially in-process (no pool overhead, easier
+    debugging); otherwise cells are distributed over a process pool.
+    ``progress`` is invoked once per cell as results are collected.
+    A non-positive ``timeout`` disables the limit.
+    """
+    if timeout is not None and timeout <= 0:
+        timeout = None
+    if jobs <= 1:
+        out = []
+        for spec in specs:
+            result = execute_cell(spec, timeout=timeout)
+            if progress is not None:
+                progress(result)
+            out.append(result)
+        return out
+
+    results: List[Optional[CellResult]] = [None] * len(specs)
+    backstop = None if timeout is None else timeout + _PARENT_GRACE
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_worker, (spec, timeout)): idx
+            for idx, spec in enumerate(specs)
+        }
+        for future, idx in futures.items():
+            spec = specs[idx]
+            try:
+                result = future.result(timeout=backstop)
+            except FutureTimeoutError:
+                # Keep not-yet-started cells from piling onto a stuck
+                # pool; the running worker itself cannot be cancelled.
+                pool.shutdown(wait=False, cancel_futures=True)
+                result = CellResult(
+                    scenario=spec.scenario,
+                    params=spec.params_dict,
+                    seed=spec.seed,
+                    status=STATUS_TIMEOUT,
+                    wall_time=backstop or 0.0,
+                    error=f"worker exceeded {backstop:.1f}s backstop",
+                )
+            except CancelledError:
+                result = CellResult(
+                    scenario=spec.scenario,
+                    params=spec.params_dict,
+                    seed=spec.seed,
+                    status=STATUS_ERROR,
+                    error="cancelled after an earlier cell exceeded "
+                          "the parent backstop",
+                )
+            except Exception as exc:  # noqa: BLE001 - pool failure
+                result = CellResult(
+                    scenario=spec.scenario,
+                    params=spec.params_dict,
+                    seed=spec.seed,
+                    status=STATUS_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            if progress is not None:
+                progress(result)
+            results[idx] = result
+    return [r for r in results if r is not None]

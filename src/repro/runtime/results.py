@@ -1,0 +1,131 @@
+"""Structured records for experiment cells.
+
+A *cell* is the atomic unit of experimental work: one scenario run at
+one parameter point with one seed.  :class:`CellSpec` identifies a cell
+(it is what travels to worker processes and what gets hashed for the
+content-addressed store); :class:`CellResult` is the measured outcome.
+
+Metrics are a flat ``str -> scalar`` mapping so results serialize to a
+single JSON line.  Every scenario emits the common keys
+
+``n, m, hop_count, rounds, messages, words, max_link_words, correct``
+
+plus scenario-specific extras (``worst_ratio``, ``violations``, ...).
+``wall_time`` lives *outside* the metrics mapping: metrics are
+deterministic given (scenario, params, seed, code), wall time is not,
+and the determinism tests compare metrics wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: Result status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+def canonical_params(params: Mapping[str, object]) -> str:
+    """Deterministic JSON rendering of a parameter mapping."""
+    return json.dumps(dict(params), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Identity of one experiment cell (scenario x params x seed)."""
+
+    scenario: str
+    params: Tuple[Tuple[str, object], ...]
+    seed: int
+
+    @staticmethod
+    def make(scenario: str, params: Mapping[str, object],
+             seed: int) -> "CellSpec":
+        return CellSpec(
+            scenario=scenario,
+            params=tuple(sorted(params.items())),
+            seed=seed,
+        )
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable cell label for tables and logs."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.scenario}[{inner}]#{self.seed}"
+
+    def identity(self) -> str:
+        """Code-version-independent identity (used by regression diffs)."""
+        return (f"{self.scenario}|{canonical_params(self.params_dict)}"
+                f"|{self.seed}")
+
+
+@dataclass
+class CellResult:
+    """Measured outcome of one executed (or cached) cell."""
+
+    scenario: str
+    params: Dict[str, object]
+    seed: int
+    key: str = ""
+    status: str = STATUS_OK
+    metrics: Dict[str, object] = field(default_factory=dict)
+    wall_time: float = 0.0
+    error: str = ""
+    cached: bool = False
+
+    @property
+    def spec(self) -> CellSpec:
+        return CellSpec.make(self.scenario, self.params, self.seed)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def correct(self) -> Optional[bool]:
+        """Oracle verdict if the scenario reports one (None otherwise)."""
+        value = self.metrics.get("correct")
+        return None if value is None else bool(value)
+
+    def to_json(self) -> str:
+        """One-line JSON rendering (JSONL-friendly)."""
+        return json.dumps({
+            "scenario": self.scenario,
+            "params": self.params,
+            "seed": self.seed,
+            "key": self.key,
+            "status": self.status,
+            "metrics": self.metrics,
+            "wall_time": self.wall_time,
+            "error": self.error,
+        }, sort_keys=True)
+
+    @staticmethod
+    def from_json(line: str) -> "CellResult":
+        data = json.loads(line)
+        return CellResult(
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            seed=int(data["seed"]),
+            key=data.get("key", ""),
+            status=data.get("status", STATUS_OK),
+            metrics=dict(data.get("metrics", {})),
+            wall_time=float(data.get("wall_time", 0.0)),
+            error=data.get("error", ""),
+        )
+
+
+def results_to_jsonl(results: List[CellResult]) -> str:
+    return "\n".join(r.to_json() for r in results) + "\n"
+
+
+def results_from_jsonl(text: str) -> List[CellResult]:
+    return [CellResult.from_json(line)
+            for line in text.splitlines() if line.strip()]

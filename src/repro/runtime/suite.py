@@ -1,0 +1,157 @@
+"""Suite orchestration: registry -> cache -> executor -> store.
+
+:func:`run_suite` is the one entry point every harness uses (the
+``repro suite`` CLI, the benches, CI's smoke job): it expands the
+requested scenarios into cells, serves what it can from the
+content-addressed store, fans the rest out over the executor, persists
+fresh results, and writes a JSONL run manifest for later ``suite
+diff``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .executor import run_cells
+from .registry import all_scenarios, get_scenario
+from .results import CellResult, CellSpec
+from .store import ResultStore, cell_key, code_version
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of one suite invocation."""
+
+    results: List[CellResult]
+    cache_hits: int
+    cache_misses: int
+    wall_time: float
+    jobs: int
+    manifest_path: Optional[pathlib.Path] = None
+    code_version: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct is not False for r in self.results)
+
+    def by_scenario(self) -> Dict[str, List[CellResult]]:
+        out: Dict[str, List[CellResult]] = {}
+        for result in self.results:
+            out.setdefault(result.scenario, []).append(result)
+        return out
+
+    def summary_rows(self) -> List[List[object]]:
+        """Per-scenario aggregate rows for the tables renderer."""
+        rows: List[List[object]] = []
+        for name, cells in sorted(self.by_scenario().items()):
+            ok = sum(1 for c in cells if c.ok)
+            correct = sum(1 for c in cells if c.correct is not False)
+            cached = sum(1 for c in cells if c.cached)
+            rounds = [c.metrics.get("rounds") for c in cells
+                      if isinstance(c.metrics.get("rounds"), int)]
+            rows.append([
+                name,
+                len(cells),
+                f"{ok}/{len(cells)}",
+                f"{correct}/{len(cells)}",
+                cached,
+                max(rounds) if rounds else "-",
+                f"{sum(c.wall_time for c in cells):.2f}s",
+            ])
+        return rows
+
+
+def expand_cells(
+    names: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+) -> List[CellSpec]:
+    """All cells of the named scenarios (default: whole catalog)."""
+    if names:
+        scenarios = [get_scenario(name) for name in names]
+    else:
+        scenarios = all_scenarios()
+    specs: List[CellSpec] = []
+    for scen in scenarios:
+        specs.extend(scen.cells(smoke=smoke))
+    return specs
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    smoke: bool = False,
+    use_cache: bool = True,
+    store: Optional[ResultStore] = None,
+    timeout: Optional[float] = None,
+    label: str = "suite",
+    record: bool = True,
+    progress: Optional[Callable[[CellResult], None]] = None,
+) -> SuiteReport:
+    """Run (or serve from cache) every cell of the selected scenarios."""
+    start = time.perf_counter()
+    store = store if store is not None else ResultStore()
+    version = code_version()
+    specs = expand_cells(names, smoke=smoke)
+    keys = [cell_key(spec, version) for spec in specs]
+
+    results: List[Optional[CellResult]] = [None] * len(specs)
+    missing: List[int] = []
+    for idx, key in enumerate(keys):
+        cached = store.get(key) if use_cache else None
+        if cached is not None:
+            results[idx] = cached
+            if progress is not None:
+                progress(cached)
+        else:
+            missing.append(idx)
+
+    fresh = run_cells(
+        [specs[idx] for idx in missing],
+        jobs=jobs, timeout=timeout, progress=progress)
+    for idx, result in zip(missing, fresh):
+        result.key = keys[idx]
+        results[idx] = result
+        if use_cache and result.ok:
+            store.put(result)
+
+    final = [r for r in results if r is not None]
+    report = SuiteReport(
+        results=final,
+        cache_hits=len(specs) - len(missing),
+        cache_misses=len(missing),
+        wall_time=time.perf_counter() - start,
+        jobs=jobs,
+        code_version=version,
+    )
+    if record:
+        report.manifest_path = store.record_run(label, final)
+    return report
+
+
+def format_suite_report(report: SuiteReport, title: str = "") -> str:
+    """Rendered per-scenario summary table plus the cache line."""
+    from ..analysis.tables import format_table
+
+    table = format_table(
+        ["scenario", "cells", "ok", "correct", "cached", "max rounds",
+         "wall"],
+        report.summary_rows(),
+        title=title or "suite results",
+    )
+    lines = [
+        table,
+        f"cells: {len(report.results)}  cache hits: "
+        f"{report.cache_hits}  misses: {report.cache_misses}  "
+        f"jobs: {report.jobs}  wall: {report.wall_time:.2f}s  "
+        f"code: {report.code_version}",
+    ]
+    if report.manifest_path is not None:
+        lines.append(f"manifest: {report.manifest_path}")
+    return "\n".join(lines)

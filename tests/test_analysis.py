@@ -7,12 +7,14 @@ import pytest
 from repro.analysis import (
     approx_quality,
     fit_power_law,
+    format_records,
     format_series,
     format_table,
     hst_sweep,
     invariance,
     run_table1_cell,
     scaling_series,
+    speedup_stats,
 )
 
 
@@ -65,6 +67,24 @@ class TestTables:
 
     def test_float_rendering(self):
         assert "inf" in format_table(["x"], [[float("inf")]])
+
+    def test_format_records_from_dicts(self):
+        text = format_records(
+            [{"a": 1, "b": 2}, {"a": 3}], ["a", "b"], title="R")
+        lines = text.splitlines()
+        assert lines[0] == "R"
+        assert lines[-1].split() == ["3", "-"]  # missing field -> '-'
+
+    def test_format_records_from_objects(self):
+        class Row:
+            a = 5
+        assert "5" in format_records([Row()], ["a", "zz"])
+
+    def test_speedup_stats(self):
+        stats = speedup_stats(4.0, 2.0, 2)
+        assert stats.speedup == pytest.approx(2.0)
+        assert stats.efficiency == pytest.approx(1.0)
+        assert "2.00x speedup" in stats.render()
 
 
 class TestExperimentDrivers:

@@ -6,9 +6,11 @@ import pytest
 from repro.congest.words import INF
 from repro.graphs import (
     double_path_instance,
+    expander_instance,
     grid_instance,
     layered_instance,
     path_with_chords_instance,
+    power_law_instance,
     random_instance,
 )
 from repro.baselines import replacement_lengths
@@ -109,3 +111,78 @@ class TestDoublePath:
             double_path_instance(0, 1)
         with pytest.raises(ValueError):
             double_path_instance(5, 0)
+
+
+class TestNewTopologies:
+    def test_expander_valid_and_small_diameter(self):
+        inst = expander_instance(40, degree=4, seed=0)
+        inst.validate()
+        # Near-regular: every vertex keeps bounded out-degree.
+        adj = inst.adjacency()
+        assert max(len(out) for out in adj) <= 8
+
+    def test_power_law_valid_and_hubby(self):
+        inst = power_law_instance(60, attach=2, seed=0)
+        inst.validate()
+        degree = [0] * inst.n
+        for u, v, _ in inst.edges:
+            degree[u] += 1
+            degree[v] += 1
+        # Preferential attachment: the busiest vertex dominates the
+        # median by a wide margin.
+        assert max(degree) >= 4 * sorted(degree)[inst.n // 2]
+
+    def test_weighted_variants(self):
+        expander_instance(24, seed=1, weighted=True).validate()
+        power_law_instance(24, seed=1, weighted=True).validate()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            expander_instance(2)
+        with pytest.raises(ValueError):
+            expander_instance(24, degree=1)
+        with pytest.raises(ValueError):
+            power_law_instance(2)
+
+
+class TestSeedThreading:
+    def test_same_seed_same_instance(self):
+        for build in (
+            lambda s: random_instance(30, seed=s),
+            lambda s: path_with_chords_instance(12, seed=s,
+                                                weighted=True),
+            lambda s: layered_instance(5, 3, seed=s),
+            lambda s: expander_instance(24, seed=s),
+            lambda s: power_law_instance(24, seed=s),
+        ):
+            a, b = build(7), build(7)
+            assert a.edges == b.edges and a.path == b.path
+            c = build(8)
+            assert c.edges != a.edges or c.path != a.path
+
+    def test_explicit_rng_stream_wins_over_seed(self):
+        import random as _random
+        a = random_instance(30, seed=0, rng=_random.Random(99))
+        b = random_instance(30, seed=1, rng=_random.Random(99))
+        assert a.edges == b.edges
+
+    def test_shared_stream_is_sequential(self):
+        # One Random threaded through two builds must consume the
+        # stream in order: the second build differs from a fresh one.
+        import random as _random
+        rng = _random.Random(5)
+        first = random_instance(24, rng=rng)
+        second = random_instance(24, rng=rng)
+        assert first.edges != second.edges
+        assert second.edges != random_instance(
+            24, rng=_random.Random(5)).edges
+
+    def test_global_random_state_untouched(self):
+        import random as _random
+        _random.seed(1234)
+        before = _random.random()
+        _random.seed(1234)
+        expander_instance(24, seed=3)
+        power_law_instance(24, seed=3)
+        random_instance(24, seed=3)
+        assert _random.random() == before
