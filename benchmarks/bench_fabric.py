@@ -1,0 +1,268 @@
+"""Fabric throughput: batched exchange vs. the pre-fabric engine.
+
+Records a realistic message schedule per instance family (BFS both
+ways, k-source BFS, spanning tree + pipelined broadcast — the exact
+primitives every catalog scenario funnels through), then replays the
+identical schedule through each fabric engine and reports rounds/sec:
+
+* ``reference`` — the pre-PR per-message engine (tuple hashing,
+  recursive word sizing, per-round dict allocation), preserved in
+  :func:`repro.congest.fastpath.exchange_reference`;
+* ``strict`` — batched flat-buffer delivery with per-message
+  validation;
+* ``fast`` — batched delivery with validation hoisted out of the
+  inner loop.
+
+Every replay also cross-checks the ledgers, so the throughput numbers
+are only ever reported for byte-identical executions.
+
+Families: the expander and power-law generators (small-D, detour-rich
+and hub-congested regimes) plus the Section 6.3 hard instance; the
+``scaling-expander`` family is the perf gate's target and must hold a
+>= 3x fast-vs-reference speedup.
+
+CLI (used by the ``perf-gate`` CI job)::
+
+    python benchmarks/bench_fabric.py --json BENCH_fabric.json \
+        --compare benchmarks/BENCH_fabric.json --tolerance 0.25
+
+The committed baseline stores *speedup ratios* (fast/reference on the
+same machine), which are stable across runner hardware, unlike
+absolute rounds/sec; the gate fails when a family's measured speedup
+drops more than ``tolerance`` below its baseline ratio, i.e. on a >25%
+relative rounds/sec regression of the batched path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.congest import (  # noqa: E402
+    CongestNetwork,
+    bfs_distances,
+    broadcast_messages,
+    build_spanning_tree,
+    multi_source_hop_bfs,
+)
+from repro.graphs import (  # noqa: E402
+    expander_instance,
+    power_law_instance,
+)
+from repro.lowerbound import build_hard_instance  # noqa: E402
+
+#: The acceptance floor for the batched fabric on the gate family.
+MIN_GATE_SPEEDUP = 3.0
+GATE_FAMILY = "scaling-expander"
+
+Schedule = List[Dict[int, list]]
+
+
+class _RecordingNetwork(CongestNetwork):
+    """Capture every outbox so the schedule can be replayed verbatim."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.schedule: Schedule = []
+
+    def exchange(self, outbox):
+        concrete = {u: list(sends) for u, sends in outbox.items()}
+        self.schedule.append(concrete)
+        return super().exchange(concrete)
+
+
+def _workload(net: CongestNetwork, instance) -> None:
+    """The primitive mix every scenario funnels through the fabric."""
+    bfs_distances(net, instance.s, direction="out")
+    bfs_distances(net, instance.t, direction="in")
+    step = max(1, instance.n // 8)
+    sources = list(range(0, instance.n, step))[:8]
+    multi_source_hop_bfs(net, sources, hop_limit=12)
+    tree = build_spanning_tree(net)
+    messages = {v: [("tok", v, i) for i in range(2)]
+                for v in range(0, instance.n, max(1, instance.n // 24))}
+    broadcast_messages(net, tree, messages)
+
+
+def _families(scale: int = 1):
+    yield ("expander",
+           expander_instance(160 * scale, degree=4, seed=1))
+    yield ("power-law",
+           power_law_instance(160 * scale, attach=3, seed=2))
+    k = 3
+    matrix = [[(a + b) % 2 for b in range(k)] for a in range(k)]
+    x_bits = [i % 2 for i in range(k * k)]
+    yield ("hard-instance",
+           build_hard_instance(k, 2, 2 + (scale > 1), matrix,
+                               x_bits).instance)
+    yield (GATE_FAMILY,
+           expander_instance(320 * scale, degree=4, seed=3))
+
+
+def _ledger_digest(net: CongestNetwork):
+    ledger = net.ledger
+    return (ledger.rounds, ledger.messages, ledger.words,
+            ledger.max_link_words, ledger.violations)
+
+
+def _replay_rps(schedule: Schedule, make_net: Callable[[], CongestNetwork],
+                repeats: int):
+    """Best-of-``repeats`` rounds/sec for one engine, plus its ledger."""
+    best = float("inf")
+    net = None
+    for _ in range(repeats):
+        net = make_net()
+        exchange = net.exchange
+        start = time.perf_counter()
+        for outbox in schedule:
+            exchange(outbox)
+        best = min(best, time.perf_counter() - start)
+    return len(schedule) / best, _ledger_digest(net)
+
+
+def measure_families(scale: int = 1, repeats: int = 3) -> Dict[str, dict]:
+    """Record + replay every family; returns the per-family report."""
+    report: Dict[str, dict] = {}
+    for name, instance in _families(scale):
+        recorder = _RecordingNetwork(instance.n, instance.edges)
+        _workload(recorder, instance)
+        schedule = recorder.schedule
+
+        rps: Dict[str, float] = {}
+        digests = {}
+        for fabric in ("reference", "strict", "fast"):
+            rps[fabric], digests[fabric] = _replay_rps(
+                schedule,
+                lambda fabric=fabric: instance.build_network(
+                    fabric=fabric),
+                repeats)
+        if not (digests["reference"] == digests["strict"]
+                == digests["fast"]):
+            raise AssertionError(
+                f"{name}: fabrics disagree on the ledger: {digests}")
+
+        report[name] = {
+            "n": instance.n,
+            "m": instance.m,
+            "rounds": len(schedule),
+            "messages": digests["reference"][1],
+            "words": digests["reference"][2],
+            "reference_rps": round(rps["reference"], 1),
+            "strict_rps": round(rps["strict"], 1),
+            "fast_rps": round(rps["fast"], 1),
+            "speedup_strict": round(rps["strict"] / rps["reference"], 3),
+            "speedup_fast": round(rps["fast"] / rps["reference"], 3),
+        }
+    return report
+
+
+def render_report(families: Dict[str, dict]) -> str:
+    from repro.analysis import format_records
+
+    records = [{"family": name, **data}
+               for name, data in families.items()]
+    return format_records(
+        records,
+        ["family", "n", "rounds", "messages", "reference_rps",
+         "strict_rps", "fast_rps", "speedup_fast"],
+        title="fabric throughput — batched exchange vs. reference "
+              "engine (replayed schedules, best of N)",
+    )
+
+
+def check_against_baseline(families: Dict[str, dict], baseline: dict,
+                           tolerance: float) -> List[str]:
+    """Regression messages (empty when the gate passes)."""
+    problems = []
+    for name, base in baseline.get("families", {}).items():
+        now = families.get(name)
+        if now is None:
+            problems.append(f"{name}: family missing from this run")
+            continue
+        floor = base["speedup_fast"] * (1.0 - tolerance)
+        if now["speedup_fast"] < floor:
+            problems.append(
+                f"{name}: fast-path speedup {now['speedup_fast']:.2f}x "
+                f"fell below {floor:.2f}x "
+                f"(baseline {base['speedup_fast']:.2f}x - "
+                f"{tolerance:.0%} tolerance)")
+    gate = families.get(GATE_FAMILY)
+    if gate is not None and gate["speedup_fast"] < MIN_GATE_SPEEDUP:
+        problems.append(
+            f"{GATE_FAMILY}: fast-path speedup "
+            f"{gate['speedup_fast']:.2f}x is below the absolute "
+            f"{MIN_GATE_SPEEDUP:.1f}x floor")
+    return problems
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_fabric_throughput(benchmark):
+    """Replayed-schedule rounds/sec across fabrics (see module doc)."""
+    from _util import report
+
+    families = benchmark.pedantic(
+        lambda: measure_families(scale=1, repeats=2),
+        rounds=1, iterations=1)
+    report("fabric", render_report(families))
+    gate = families[GATE_FAMILY]
+    assert gate["speedup_fast"] >= MIN_GATE_SPEEDUP, gate
+    for data in families.values():
+        assert data["speedup_fast"] > 1.0, data
+
+
+# -- CLI (CI perf gate) -----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--compare", type=pathlib.Path, default=None,
+                        help="committed baseline JSON to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative speedup regression")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="replays per engine (best-of timing)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="instance size multiplier")
+    args = parser.parse_args(argv)
+
+    families = measure_families(scale=args.scale, repeats=args.repeats)
+    print(render_report(families))
+
+    payload = {
+        "bench": "fabric",
+        "gate_family": GATE_FAMILY,
+        "min_gate_speedup": MIN_GATE_SPEEDUP,
+        "tolerance": args.tolerance,
+        "families": families,
+    }
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        problems = check_against_baseline(families, baseline,
+                                          args.tolerance)
+        if problems:
+            for line in problems:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"perf gate ok (vs {args.compare}, "
+              f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

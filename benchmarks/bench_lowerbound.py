@@ -19,7 +19,6 @@ import random
 from repro.analysis import format_table
 from repro.core import solve_two_sisp
 from repro.lowerbound import (
-    bipartite_cut,
     build_diameter_instance,
     build_gamma_graph,
     build_hard_instance,

@@ -62,10 +62,10 @@ def main() -> None:
     full_x = build_hard_instance(k, d, p, matrix, [1] * (k * k))
     lengths = replacement_lengths(full_x.instance)
     decoded = decode_matrix_from_lengths(lengths, k, d, p)
-    print(f"\n  with x ≡ 1, the RPaths output decodes M exactly: "
-          f"{decoded == matrix}")
+    print(f"\n  with x ≡ 1, the RPaths output decodes M "
+          f"exactly: {decoded == matrix}")
 
-    # -- 4. the Lemma 6.9 reduction, end-to-end --------------------------------
+    # -- 4. the Lemma 6.9 reduction, end-to-end ----------------------------
     print("\nset disjointness via the distributed 2-SiSP solver:")
     for trial in range(3):
         xx = [rng.randint(0, 1) for _ in range(4)]

@@ -7,7 +7,7 @@ tallies); this module keeps the formatting in one place.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 
 def format_table(headers: Sequence[str],

@@ -22,7 +22,7 @@ analogously via prefix minima.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..congest.network import CongestNetwork
 from ..congest.words import INF

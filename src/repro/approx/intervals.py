@@ -18,8 +18,7 @@ Lemma 2.4.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..congest.broadcast import broadcast_messages
 from ..congest.network import CongestNetwork

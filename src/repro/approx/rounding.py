@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, List
+from typing import List
 
 
 def epsilon_as_fraction(epsilon: float) -> Fraction:

@@ -13,7 +13,7 @@ structure Lemma 4.3 and Section 5 rely on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from ..congest.words import INF, clamp_inf
 from ..graphs.instance import RPathsInstance
@@ -85,14 +85,14 @@ def detour_replacement_lengths_with_threshold(
     short = [INF] * h
     long_ = [INF] * h
     for j in range(h + 1):
-        for l in range(j + 1, h + 1):
-            d = dist_rows[j][path[l]]
+        for pos in range(j + 1, h + 1):
+            d = dist_rows[j][path[pos]]
             if d >= INF:
                 continue
-            hop = hops_rows[j][path[l]]
-            length = pre[j] + d + (total - pre[l])
+            hop = hops_rows[j][path[pos]]
+            length = pre[j] + d + (total - pre[pos])
             bucket = short if hop <= zeta else long_
-            for i in range(j, l):
+            for i in range(j, pos):
                 if length < bucket[i]:
                     bucket[i] = length
     return short, long_

@@ -19,7 +19,7 @@ from ..congest.bfs import bfs_distances
 from ..congest.broadcast import broadcast_messages
 from ..congest.metrics import RoundLedger
 from ..congest.spanning_tree import build_spanning_tree
-from ..congest.words import INF, clamp_inf
+from ..congest.words import clamp_inf
 from ..graphs.instance import RPathsInstance
 
 

@@ -96,9 +96,9 @@ def solve_rpaths_roditty_zwick(
     if landmarks is None:
         prob = min(1.0, 9.0 * math.log(max(2, n)) / zeta)
         landmarks = [v for v in range(n) if rng.random() < prob]
-    for l in sorted(set(landmarks)):
-        from_l = _full_bfs(adj, l, n)
-        to_l = _full_bfs(radj, l, n)
+    for lm in sorted(set(landmarks)):
+        from_l = _full_bfs(adj, lm, n)
+        to_l = _full_bfs(radj, lm, n)
         # best prefix entering l from v_{≤ i}, best suffix leaving l to
         # v_{≥ i+1}; standard prefix/suffix minima.
         enter = [INF] * (h + 1)

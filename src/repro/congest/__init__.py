@@ -5,6 +5,10 @@ environment:
 
 * :class:`~repro.congest.network.CongestNetwork` — the synchronous
   message-passing engine with per-link bandwidth accounting;
+* :class:`~repro.congest.topology.CSRTopology` and
+  :mod:`~repro.congest.fastpath` — the communication fabric proper:
+  frozen CSR adjacency with dense link ids, and batched flat-buffer
+  message delivery with validation hoisted behind a flag;
 * :class:`~repro.congest.metrics.RoundLedger` — round/message/congestion
   bookkeeping with named phases;
 * BFS primitives (:mod:`~repro.congest.bfs`), the k-source h-hop BFS of
@@ -22,8 +26,10 @@ from .errors import (
     RoundLimitExceededError,
     UnknownVertexError,
 )
+from .fastpath import FabricState, exchange_batch, exchange_reference
 from .metrics import PhaseStats, RoundLedger
-from .network import DEFAULT_BANDWIDTH_WORDS, CongestNetwork
+from .network import DEFAULT_BANDWIDTH_WORDS, FABRICS, CongestNetwork
+from .topology import CSRTopology
 from .words import INF, clamp_inf, is_unreachable, words_of
 from .bfs import bfs_distances, bfs_tree, sssp_distances_weighted
 from .multisource import multi_source_hop_bfs
@@ -38,9 +44,12 @@ from .pipeline import SweepResult, SweepTask, run_path_sweeps
 
 __all__ = [
     "BandwidthExceededError",
+    "CSRTopology",
     "CongestError",
     "CongestNetwork",
     "DEFAULT_BANDWIDTH_WORDS",
+    "FABRICS",
+    "FabricState",
     "INF",
     "InvalidInstanceError",
     "NotALinkError",
@@ -58,6 +67,8 @@ __all__ = [
     "build_spanning_tree",
     "clamp_inf",
     "convergecast",
+    "exchange_batch",
+    "exchange_reference",
     "global_min",
     "is_unreachable",
     "multi_source_hop_bfs",

@@ -29,19 +29,26 @@ EdgeSet = FrozenSet[Tuple[int, int]]
 _EMPTY: EdgeSet = frozenset()
 
 
-def _next_hops(net: CongestNetwork, u: int, direction: str,
-               avoid_edges: EdgeSet) -> List[int]:
-    """Vertices one hop *downstream* of ``u`` for the given direction.
+def _downstream_lists(net: CongestNetwork, direction: str,
+                      avoid_edges: EdgeSet) -> List[List[int]]:
+    """Per-vertex downstream adjacency, filtered once for the whole run.
 
-    For ``direction="out"`` these are out-neighbors (BFS expands forward);
-    for ``direction="in"`` these are in-neighbors (BFS expands backward).
+    ``avoid_edges`` is fixed for the duration of a BFS, so hoisting the
+    membership tests out of the round loop makes outbox construction a
+    straight scan over prebuilt lists (batch-friendly: the fabric sees
+    exactly the same messages, built with zero per-round set probes).
     """
+    topo = net.topology
     if direction == "out":
-        return [v for v in net.out_neighbors(u)
-                if (u, v) not in avoid_edges]
+        if not avoid_edges:
+            return topo.out_lists
+        return [[v for v in targets if (u, v) not in avoid_edges]
+                for u, targets in enumerate(topo.out_lists)]
     if direction == "in":
-        return [x for x in net.in_neighbors(u)
-                if (x, u) not in avoid_edges]
+        if not avoid_edges:
+            return topo.in_lists
+        return [[x for x in sources if (x, u) not in avoid_edges]
+                for u, sources in enumerate(topo.in_lists)]
     raise ValueError(f"unknown direction {direction!r}")
 
 
@@ -59,6 +66,8 @@ def bfs_distances(
     One word per link per round — congestion-free by construction.
     """
     name = phase if phase is not None else f"bfs[{source}]"
+    downstream = _downstream_lists(net, direction, avoid_edges)
+    exchange = net.exchange
     with net.ledger.phase(name):
         dist = [INF] * net.n
         dist[source] = 0
@@ -69,16 +78,16 @@ def bfs_distances(
                 break
             outbox = {}
             for u in frontier:
-                targets = [(v, dist[u]) for v in
-                           _next_hops(net, u, direction, avoid_edges)]
-                if targets:
-                    outbox[u] = targets
+                hops = downstream[u]
+                if hops:
+                    du = dist[u]
+                    outbox[u] = [(v, du) for v in hops]
             if not outbox:
                 break
-            inbox = net.exchange(outbox)
+            inbox = exchange(outbox)
             depth += 1
             frontier = []
-            for v, arrivals in inbox.items():
+            for v in inbox:
                 if dist[v] >= INF:
                     dist[v] = depth
                     frontier.append(v)
@@ -99,6 +108,8 @@ def bfs_tree(
     deterministic tie-breaking the paper's deterministic subroutines need.
     """
     name = phase if phase is not None else f"bfs-tree[{source}]"
+    downstream = _downstream_lists(net, direction, avoid_edges)
+    exchange = net.exchange
     with net.ledger.phase(name):
         dist = [INF] * net.n
         parent = [-1] * net.n
@@ -111,13 +122,12 @@ def bfs_tree(
                 break
             outbox = {}
             for u in frontier:
-                targets = [(v, 0) for v in
-                           _next_hops(net, u, direction, avoid_edges)]
-                if targets:
-                    outbox[u] = targets
+                hops = downstream[u]
+                if hops:
+                    outbox[u] = [(v, 0) for v in hops]
             if not outbox:
                 break
-            inbox = net.exchange(outbox)
+            inbox = exchange(outbox)
             depth += 1
             frontier = []
             for v in sorted(inbox):
@@ -134,6 +144,8 @@ def eccentricity_via_bfs(net: CongestNetwork, source: int) -> int:
     Used by algorithms that need to know when a flood has quiesced; the
     undirected support is explored, mirroring a beacon flood.
     """
+    nbr_lists = net.topology.nbr_lists
+    exchange = net.exchange
     with net.ledger.phase(f"flood[{source}]"):
         dist = [INF] * net.n
         dist[source] = 0
@@ -142,13 +154,13 @@ def eccentricity_via_bfs(net: CongestNetwork, source: int) -> int:
         while frontier:
             outbox = {}
             for u in frontier:
-                targets = [(v, 0) for v in net.neighbors(u)
+                targets = [(v, 0) for v in nbr_lists[u]
                            if dist[v] >= INF]
                 if targets:
                     outbox[u] = targets
             if not outbox:
                 break
-            inbox = net.exchange(outbox)
+            inbox = exchange(outbox)
             depth += 1
             frontier = []
             for v in inbox:
@@ -177,6 +189,14 @@ def sssp_distances_weighted(
     Rounds consumed: the largest finite distance found (≤ distance_limit).
     """
     name = phase if phase is not None else f"sssp[{source}]"
+    weight = net.weight
+    downstream = [
+        [(v, weight(u, v) if direction == "out" else weight(v, u))
+         for v in hops]
+        for u, hops in enumerate(
+            _downstream_lists(net, direction, avoid_edges))
+    ]
+    exchange = net.exchange
     with net.ledger.phase(name):
         dist = [INF] * net.n
         dist[source] = 0
@@ -191,18 +211,15 @@ def sssp_distances_weighted(
             settlers = pending.pop(clock, [])
             outbox = {}
             for u in settlers:
-                if dist[u] != clock:
+                du = dist[u]
+                if du != clock:
                     continue  # superseded by a shorter path
-                sends = []
-                for v in _next_hops(net, u, direction, avoid_edges):
-                    w = (net.weight(u, v) if direction == "out"
-                         else net.weight(v, u))
-                    if dist[u] + w < dist[v]:
-                        sends.append((v, (dist[u], w)))
+                sends = [(v, (du, w)) for v, w in downstream[u]
+                         if du + w < dist[v]]
                 if sends:
                     outbox[u] = sends
             if outbox:
-                inbox = net.exchange(outbox)
+                inbox = exchange(outbox)
             else:
                 inbox = {}
                 if pending:

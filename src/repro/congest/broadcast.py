@@ -45,39 +45,50 @@ def broadcast_messages(
     link, which the engine tracks.)
     """
     name = phase if phase is not None else "broadcast"
+    tree_nbrs = [tree.tree_neighbors(v) for v in range(net.n)]
+    exchange = net.exchange
     with net.ledger.phase(name):
-        # Per directed tree link FIFO queue of (origin, payload).
+        # Per directed tree link FIFO queue of (origin, payload).  Only
+        # *active* (non-empty) links are visited each round, tracked in
+        # FIFO order — the pre-fabric engine re-scanned every tree link
+        # every round, which is O(n) per round even near quiescence.
         queues: Dict[Tuple[int, int], deque] = {}
         for v in range(net.n):
-            for u in tree.tree_neighbors(v):
+            for u in tree_nbrs[v]:
                 queues[(v, u)] = deque()
+        active: deque = deque()
+
+        def push(link: Tuple[int, int], item: Tuple[int, Payload]) -> None:
+            queue = queues[link]
+            if not queue:
+                active.append(link)
+            queue.append(item)
 
         all_messages: List[Tuple[int, Payload]] = []
         for origin in sorted(messages):
             for payload in messages[origin]:
                 item = (origin, payload)
                 all_messages.append(item)
-                for u in tree.tree_neighbors(origin):
-                    queues[(origin, u)].append(item)
+                for u in tree_nbrs[origin]:
+                    push((origin, u), item)
 
-        pending = sum(len(q) for q in queues.values())
-        while pending:
+        while active:
             outbox: Dict[int, List[Tuple[int, Payload]]] = {}
-            sent: List[Tuple[int, int, Tuple[int, Payload]]] = []
-            for (u, v), queue in queues.items():
+            for _ in range(len(active)):
+                link = active.popleft()
+                u, v = link
+                queue = queues[link]
+                outbox.setdefault(u, []).append((v, queue.popleft()))
                 if queue:
-                    item = queue.popleft()
-                    outbox.setdefault(u, []).append((v, item))
-                    sent.append((u, v, item))
-            inbox = net.exchange(outbox)
-            pending = sum(len(q) for q in queues.values())
+                    active.append(link)
+            inbox = exchange(outbox)
             for v, arrivals in inbox.items():
+                nbrs = tree_nbrs[v]
                 for sender, item in arrivals:
                     # Forward to every tree neighbor except the sender.
-                    for u in tree.tree_neighbors(v):
+                    for u in nbrs:
                         if u != sender:
-                            queues[(v, u)].append(item)
-                            pending += 1
+                            push((v, u), item)
         return sorted(all_messages)
 
 
@@ -113,8 +124,7 @@ def convergecast(
             ready.clear()
             for v in batch:
                 reported[v] = True
-                outbox.setdefault(v, []).append(
-                    (tree.parent[v], ("agg", partial[v])))
+                outbox[v] = [(tree.parent[v], ("agg", partial[v]))]
             inbox = net.exchange(outbox)
             for p, arrivals in inbox.items():
                 for child, (_, value) in arrivals:
@@ -136,13 +146,15 @@ def broadcast_value(
     name = phase if phase is not None else "broadcast-value"
     with net.ledger.phase(name):
         frontier = [tree.root]
+        message = ("val", value)
         while frontier:
             outbox: Dict[int, List[Tuple[int, object]]] = {}
             next_frontier: List[int] = []
             for v in frontier:
-                for child in tree.children[v]:
-                    outbox.setdefault(v, []).append((child, ("val", value)))
-                    next_frontier.append(child)
+                children = tree.children[v]
+                if children:
+                    outbox[v] = [(child, message) for child in children]
+                    next_frontier.extend(children)
             if outbox:
                 net.exchange(outbox)
             frontier = next_frontier
@@ -188,17 +200,15 @@ def staggered_convergecast_min(
 
         results: List[object] = [identity] * count
         total_rounds = count + (max(height) if n else 0)
+        parent = tree.parent
+        root = tree.root
         for rnd in range(total_rounds):
             outbox: Dict[int, List] = {}
-            sends = []
             for v in range(n):
                 wave = rnd - height[v]
-                if v == tree.root or not (0 <= wave < count):
+                if v == root or not (0 <= wave < count):
                     continue
-                value = value_at(v, wave)
-                outbox.setdefault(v, []).append(
-                    (tree.parent[v], ("wave", wave, value)))
-                sends.append((v, wave))
+                outbox[v] = [(parent[v], ("wave", wave, value_at(v, wave)))]
             if outbox:
                 inbox = net.exchange(outbox)
             else:

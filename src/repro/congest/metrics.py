@@ -17,7 +17,7 @@ are charged to every phase on the current stack, with the root phase
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
 

@@ -22,22 +22,11 @@ import heapq
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .network import CongestNetwork
+from .topology import downstream_step_tables
 from .words import INF
 
 EdgeSet = FrozenSet[Tuple[int, int]]
 _EMPTY: EdgeSet = frozenset()
-
-
-def _downstream(net: CongestNetwork, u: int, direction: str,
-                avoid_edges: EdgeSet) -> List[Tuple[int, int, int]]:
-    """(neighbor, tail, head) triples one hop downstream of ``u``."""
-    if direction == "out":
-        return [(v, u, v) for v in net.out_neighbors(u)
-                if (u, v) not in avoid_edges]
-    if direction == "in":
-        return [(x, x, u) for x in net.in_neighbors(u)
-                if (x, u) not in avoid_edges]
-    raise ValueError(f"unknown direction {direction!r}")
 
 
 def multi_source_hop_bfs(
@@ -76,46 +65,45 @@ def multi_source_hop_bfs(
     """
     name = phase if phase is not None else "k-source-bfs"
     k = len(sources)
+    n = net.n
+    downstream, step_in = downstream_step_tables(
+        net.topology, direction, avoid_edges, delay)
+    exchange = net.exchange
+    heappush = heapq.heappush
+    heappop = heapq.heappop
     with net.ledger.phase(name):
-        dist: List[List[int]] = [[INF] * net.n for _ in range(k)]
+        dist: List[List[int]] = [[INF] * n for _ in range(k)]
         # Per-vertex priority queue of announcements not yet sent.
-        pending: List[List[Tuple[int, int]]] = [[] for _ in range(net.n)]
+        pending: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         for rank, s in enumerate(sources):
             if dist[rank][s] > 0:
                 dist[rank][s] = 0
-                heapq.heappush(pending[s], (0, rank))
+                heappush(pending[s], (0, rank))
 
         rounds_used = 0
         while True:
             outbox: Dict[int, List[Tuple[int, object]]] = {}
             senders: List[Tuple[int, int, int]] = []
-            for u in range(net.n):
+            for u in range(n):
                 queue = pending[u]
                 # Pop until a still-current announcement is found.
                 while queue:
-                    d, rank = heapq.heappop(queue)
+                    d, rank = heappop(queue)
                     if dist[rank][u] == d:
                         senders.append((u, rank, d))
                         break
             if not senders:
                 break
             for u, rank, d in senders:
-                sends = []
-                for v, tail, head in _downstream(
-                        net, u, direction, avoid_edges):
-                    # Both endpoints know the edge weight, so the sender
-                    # can locally prune announcements that would exceed
-                    # the hop budget; it cannot (and does not) consult the
-                    # receiver's state.
-                    step = 1
-                    if delay is not None:
-                        step = delay(net.weight(tail, head))
-                    if d + step <= hop_limit:
-                        sends.append((v, ("hop", rank, d)))
+                # The sender locally prunes announcements that would
+                # exceed the hop budget; it cannot (and does not)
+                # consult the receiver's state.
+                sends = [(v, ("hop", rank, d)) for v, step in downstream[u]
+                         if d + step <= hop_limit]
                 if sends:
                     outbox[u] = sends
             if outbox:
-                inbox = net.exchange(outbox)
+                inbox = exchange(outbox)
             else:
                 net.idle_round()
                 inbox = {}
@@ -123,15 +111,11 @@ def multi_source_hop_bfs(
             if max_rounds is not None and rounds_used > max_rounds:
                 break
             for v, arrivals in inbox.items():
+                steps = step_in[v]
+                row_pending = pending[v]
                 for sender, (_, rank, d) in arrivals:
-                    step = 1
-                    if delay is not None:
-                        if direction == "out":
-                            step = delay(net.weight(sender, v))
-                        else:
-                            step = delay(net.weight(v, sender))
-                    candidate = d + step
+                    candidate = d + steps[sender]
                     if candidate <= hop_limit and candidate < dist[rank][v]:
                         dist[rank][v] = candidate
-                        heapq.heappush(pending[v], (candidate, rank))
+                        heappush(row_pending, (candidate, rank))
         return dist

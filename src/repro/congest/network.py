@@ -20,6 +20,21 @@ calling ``net.exchange(outbox)`` once per round.  Local computation is free
 vertex uses must have arrived through exchanges — the test-suite's
 correctness checks compare against centralized oracles computed directly
 on the graph, which keeps the algorithms honest.
+
+Since PR 2 the network is a thin facade over the swappable fabric:
+
+* :class:`~repro.congest.topology.CSRTopology` — frozen adjacency, link
+  ids, and O(1) link lookup, built once and shared by all rounds (and,
+  via the ``topology=`` parameter, by any number of networks);
+* :mod:`~repro.congest.fastpath` — batched delivery through flat
+  per-link buffers, with validation hoisted out of the inner loop.
+
+``fabric`` selects the engine: ``"fast"`` (default; deferred validation,
+still raises the proper model errors for in-range vertex ids),
+``"strict"`` (per-message validation, airtight even against wildly
+out-of-range ids), or ``"reference"`` (the pre-fabric per-message loop,
+kept as the equivalence oracle and benchmark baseline).  All three are
+byte-identical in delivered inboxes and ledger contents.
 """
 
 from __future__ import annotations
@@ -27,14 +42,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from .errors import (
-    BandwidthExceededError,
-    NotALinkError,
-    RoundLimitExceededError,
-    UnknownVertexError,
-)
+from .errors import RoundLimitExceededError
+from .fastpath import FabricState, exchange_batch, exchange_reference
 from .metrics import RoundLedger
-from .words import words_of
+from .topology import CSRTopology
 
 Outbox = Mapping[int, Iterable[Tuple[int, object]]]
 Inbox = Dict[int, List[Tuple[int, object]]]
@@ -44,6 +55,9 @@ Inbox = Dict[int, List[Tuple[int, object]]]
 #: small tuples our primitives send while still flagging genuinely
 #: congested schedules.
 DEFAULT_BANDWIDTH_WORDS = 8
+
+#: Recognized fabric engines.
+FABRICS = ("fast", "strict", "reference")
 
 
 class CongestNetwork:
@@ -55,7 +69,8 @@ class CongestNetwork:
         Number of vertices; vertices are ``0..n-1``.
     edges:
         Iterable of directed edges ``(u, v)`` or weighted edges
-        ``(u, v, w)`` with positive integer weight ``w``.
+        ``(u, v, w)`` with positive integer weight ``w``.  Ignored when
+        a prebuilt ``topology`` is supplied.
     bandwidth_words:
         Per-link per-round word budget.  Exceeding it either raises
         (``strict=True``) or is recorded as a violation.
@@ -64,6 +79,13 @@ class CongestNetwork:
     ledger:
         Optional shared :class:`RoundLedger`; a fresh one is created
         otherwise.
+    fabric:
+        Exchange engine: ``"fast"`` (batched, validation deferred),
+        ``"strict"`` (batched, per-message validation), or
+        ``"reference"`` (pre-fabric loop; equivalence baseline).
+    topology:
+        Optional prebuilt :class:`CSRTopology` to share across networks
+        of the same graph (skips re-parsing ``edges``).
     """
 
     def __init__(
@@ -73,49 +95,31 @@ class CongestNetwork:
         bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
         strict: bool = False,
         ledger: Optional[RoundLedger] = None,
+        fabric: str = "fast",
+        topology: Optional[CSRTopology] = None,
     ) -> None:
-        if n <= 0:
-            raise ValueError("network needs at least one vertex")
+        if fabric not in FABRICS:
+            raise ValueError(
+                f"unknown fabric {fabric!r}; expected one of {FABRICS}")
+        if topology is None:
+            topology = CSRTopology(n, edges)
+        elif topology.n != n:
+            raise ValueError(
+                f"shared topology has n={topology.n}, network asked "
+                f"for n={n}")
         self.n = n
         self.bandwidth_words = bandwidth_words
         self.strict = strict
         self.ledger = ledger if ledger is not None else RoundLedger()
+        self.fabric = fabric
+        self.topology = topology
         #: When True, cumulative words per directed link are recorded in
         #: :attr:`link_totals` (used by the lower-bound cut analysis).
         self.record_link_totals = False
         self.link_totals: Dict[Tuple[int, int], int] = {}
-
-        self._out: List[List[int]] = [[] for _ in range(n)]
-        self._in: List[List[int]] = [[] for _ in range(n)]
-        self._weights: Dict[Tuple[int, int], int] = {}
-        neighbor_sets: List[set] = [set() for _ in range(n)]
-
-        for edge in edges:
-            if len(edge) == 2:
-                u, v = edge
-                w = 1
-            else:
-                u, v, w = edge
-            if not (0 <= u < n) or not (0 <= v < n):
-                raise UnknownVertexError(u if not (0 <= u < n) else v)
-            if u == v:
-                raise ValueError(f"self-loop at {u} is not allowed")
-            if w <= 0:
-                raise ValueError(f"edge ({u},{v}) has non-positive weight")
-            if (u, v) in self._weights:
-                continue  # ignore parallel duplicates
-            self._weights[(u, v)] = int(w)
-            self._out[u].append(v)
-            self._in[v].append(u)
-            neighbor_sets[u].add(v)
-            neighbor_sets[v].add(u)
-
-        self._neighbors: List[List[int]] = [
-            sorted(s) for s in neighbor_sets
-        ]
-        self._link_set = frozenset(
-            (u, v) for u in range(n) for v in neighbor_sets[u]
-        )
+        # Exchange buffers are hoisted here, once, so neither the strict
+        # nor the fast path pays per-round allocation.
+        self._state = FabricState(topology)
 
     # -- topology accessors --------------------------------------------------
 
@@ -124,31 +128,31 @@ class CongestNetwork:
 
     def out_neighbors(self, u: int) -> List[int]:
         """Heads of directed edges leaving ``u``."""
-        return self._out[u]
+        return self.topology.out_lists[u]
 
     def in_neighbors(self, u: int) -> List[int]:
         """Tails of directed edges entering ``u``."""
-        return self._in[u]
+        return self.topology.in_lists[u]
 
     def neighbors(self, u: int) -> List[int]:
         """Communication neighbors (undirected support)."""
-        return self._neighbors[u]
+        return self.topology.nbr_lists[u]
 
     def has_edge(self, u: int, v: int) -> bool:
-        return (u, v) in self._weights
+        return self.topology.has_edge(u, v)
 
     def has_link(self, u: int, v: int) -> bool:
-        return (u, v) in self._link_set
+        return self.topology.has_link(u, v)
 
     def weight(self, u: int, v: int) -> int:
-        return self._weights[(u, v)]
+        return self.topology.weight(u, v)
 
     def directed_edges(self) -> Iterable[Tuple[int, int]]:
-        return self._weights.keys()
+        return self.topology.directed_edges()
 
     @property
     def num_edges(self) -> int:
-        return len(self._weights)
+        return self.topology.num_edges
 
     # -- the synchronous round primitive --------------------------------------
 
@@ -162,50 +166,19 @@ class CongestNetwork:
         ``outbox`` maps each sending vertex to an iterable of
         ``(receiver, payload)`` pairs.  All messages are delivered at the
         end of the round; the returned inbox maps receivers to lists of
-        ``(sender, payload)`` pairs in a deterministic order.
+        ``(sender, payload)`` pairs in a deterministic order (senders
+        ascending per receiver, message order preserved per sender).
         """
-        inbox: Inbox = {}
-        link_words: Dict[Tuple[int, int], int] = {}
-        total_messages = 0
-        total_words = 0
-
-        for sender in sorted(outbox):
-            if not (0 <= sender < self.n):
-                raise UnknownVertexError(sender)
-            for receiver, payload in outbox[sender]:
-                if not (0 <= receiver < self.n):
-                    raise UnknownVertexError(receiver)
-                if (sender, receiver) not in self._link_set:
-                    raise NotALinkError(sender, receiver)
-                size = words_of(payload)
-                key = (sender, receiver)
-                link_words[key] = link_words.get(key, 0) + size
-                total_messages += 1
-                total_words += size
-                inbox.setdefault(receiver, []).append((sender, payload))
-
-        if self.record_link_totals:
-            for key, size in link_words.items():
-                self.link_totals[key] = self.link_totals.get(key, 0) + size
-
-        max_link = max(link_words.values()) if link_words else 0
-        violations = 0
-        first_overload = None
-        for (u, v), loaded in link_words.items():
-            if loaded > self.bandwidth_words:
-                violations += 1
-                if first_overload is None:
-                    first_overload = (u, v, loaded)
-
-        # The round happened on the wire either way: charge it before
-        # raising so post-mortem ledgers stay truthful.
-        self.ledger.charge_round(
-            total_messages, total_words, max_link, violations)
-        if self.strict and first_overload is not None:
-            u, v, loaded = first_overload
-            raise BandwidthExceededError(u, v, loaded,
-                                         self.bandwidth_words)
-        return inbox
+        link_totals = self.link_totals if self.record_link_totals else None
+        if self.fabric == "reference":
+            return exchange_reference(
+                self.topology, self.ledger, outbox,
+                self.bandwidth_words, self.strict, link_totals)
+        return exchange_batch(
+            self.topology, self._state, outbox, self.ledger,
+            self.bandwidth_words, self.strict,
+            strict=(self.fabric == "strict"),
+            link_totals=link_totals)
 
     def idle_round(self, count: int = 1) -> None:
         """Advance ``count`` rounds without any communication."""
@@ -224,14 +197,16 @@ class CongestNetwork:
         Used for spanning-tree construction and diameter estimation; this
         is setup machinery, not part of any algorithm's round count.
         """
+        nbr_lists = self.topology.nbr_lists
         dist = [-1] * self.n
         dist[root] = 0
         queue = deque([root])
         while queue:
             u = queue.popleft()
-            for v in self._neighbors[u]:
+            du = dist[u] + 1
+            for v in nbr_lists[u]:
                 if dist[v] < 0:
-                    dist[v] = dist[u] + 1
+                    dist[v] = du
                     queue.append(v)
         return dist
 

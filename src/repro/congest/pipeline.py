@@ -18,6 +18,7 @@ Tokens may also deposit their running value at every vertex they visit
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
@@ -89,13 +90,22 @@ def run_path_sweeps(
     with net.ledger.phase(name):
         hops = len(path) - 1
         # Directed link queues keyed by (position, direction); direction
-        # +1 moves token from path[p] to path[p+1].
+        # +1 moves token from path[p] to path[p+1].  The deterministic
+        # (position, direction) service order is maintained
+        # incrementally — keys are only ever added — instead of
+        # re-sorting the queue table every round.
         queues: Dict[Tuple[int, int], deque] = {}
+        key_order: List[Tuple[int, int]] = []
+        pending = 0
 
         def enqueue(task: SweepTask, position: int, value: object) -> None:
             direction = 1 if task.end > task.start else -1
-            queues.setdefault((position, direction), deque()).append(
-                (task, position + direction, value))
+            key = (position, direction)
+            queue = queues.get(key)
+            if queue is None:
+                queue = queues[key] = deque()
+                insort(key_order, key)
+            queue.append((task, position + direction, value))
 
         for task in tasks:
             if not (0 <= task.start <= hops and 0 <= task.end <= hops):
@@ -108,16 +118,18 @@ def run_path_sweeps(
             if task.start == task.end:
                 continue
             enqueue(task, task.start, task.init)
+            pending += 1
 
-        pending = sum(len(q) for q in queues.values())
         while pending:
             outbox: Dict[int, List[Tuple[int, object]]] = {}
             moves: List[Tuple[SweepTask, int, object]] = []
-            for (pos, direction), queue in sorted(queues.items()):
+            for key in key_order:
+                queue = queues[key]
                 if not queue:
                     continue
                 task, nxt, value = queue.popleft()
-                sender = path[pos]
+                pending -= 1
+                sender = path[key[0]]
                 receiver = path[nxt]
                 # One token per link per round; a token's wire format is
                 # (sweep id, carried value) — a constant number of words.
@@ -134,5 +146,5 @@ def run_path_sweeps(
                     result.final = value
                 else:
                     enqueue(task, position, value)
-            pending = sum(len(q) for q in queues.values())
+                    pending += 1
     return results

@@ -80,6 +80,8 @@ def build_spanning_tree(
     in total.
     """
     name = phase if phase is not None else "spanning-tree"
+    nbr_lists = net.topology.nbr_lists
+    exchange = net.exchange
     with net.ledger.phase(name):
         parent = [-1] * net.n
         depth = [-1] * net.n
@@ -87,17 +89,19 @@ def build_spanning_tree(
         parent[root] = root
         depth[root] = 0
         frontier = [root]
+        offer = ("offer",)
+        adopt = ("adopt",)
         while frontier:
             # Level announcement: frontier vertices offer parenthood.
             outbox = {}
             for u in frontier:
-                offers = [(v, ("offer",)) for v in net.neighbors(u)
+                offers = [(v, offer) for v in nbr_lists[u]
                           if parent[v] < 0]
                 if offers:
                     outbox[u] = offers
             if not outbox:
                 break
-            inbox = net.exchange(outbox)
+            inbox = exchange(outbox)
             # Adoption: each newly reached vertex picks the smallest
             # offering neighbor and confirms (one more round).
             adopted = {}
@@ -108,8 +112,8 @@ def build_spanning_tree(
                 parent[v] = chosen
                 adopted[v] = chosen
             if adopted:
-                confirm = {v: [(p, ("adopt",))] for v, p in adopted.items()}
-                confirm_inbox = net.exchange(confirm)
+                confirm = {v: [(p, adopt)] for v, p in adopted.items()}
+                confirm_inbox = exchange(confirm)
                 for p, arrivals in confirm_inbox.items():
                     for child, _ in arrivals:
                         children[p].append(child)

@@ -1,0 +1,229 @@
+"""Frozen CSR topology shared by every round of a CONGEST execution.
+
+The pre-fabric simulator re-derived per-round bookkeeping (tuple-keyed
+link dicts, frozenset membership probes) inside ``exchange`` — pure
+overhead, since the communication graph never changes after
+construction.  :class:`CSRTopology` hoists all of it into one immutable
+object built exactly once per instance:
+
+* adjacency in compressed-sparse-row form (``indptr``/``indices`` flat
+  arrays) for the directed out-edges, directed in-edges, and the
+  undirected communication support, plus per-vertex list views so the
+  hot loops keep Python-list iteration speed;
+* a dense *directed-link id* space: every direction of every
+  communication link gets an integer id laid out **receiver-major**
+  (all links into vertex 0 first, then vertex 1, ...; within a
+  receiver, senders ascending).  Sorting touched link ids therefore
+  yields inboxes grouped by receiver with senders ascending — exactly
+  the deterministic delivery order the validated engine guarantees —
+  without ever sorting messages;
+* an O(1) link lookup ``link_id(u, v)`` backed by an int-keyed dict
+  (``u·n + v``), avoiding tuple allocation and tuple hashing on the
+  per-message hot path.
+
+Instances of this class are *frozen by contract*: nothing in the
+repository mutates a topology after construction, so one topology can
+back any number of :class:`~repro.congest.network.CongestNetwork`
+objects (fresh ledgers, shared adjacency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import UnknownVertexError
+
+
+def _flatten(lists: Sequence[List[int]]) -> Tuple[List[int], List[int]]:
+    """CSR-flatten per-vertex lists into (indptr, indices)."""
+    indptr = [0] * (len(lists) + 1)
+    indices: List[int] = []
+    for v, row in enumerate(lists):
+        indices.extend(row)
+        indptr[v + 1] = len(indices)
+    return indptr, indices
+
+
+class CSRTopology:
+    """Immutable adjacency + link-id index for one communication graph.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, w)`` directed edges with
+        positive integer weights.  Parallel duplicates are ignored
+        (first weight wins), matching the historical network semantics.
+    """
+
+    __slots__ = (
+        "n", "num_edges", "num_dirlinks",
+        "out_indptr", "out_indices", "in_indptr", "in_indices",
+        "nbr_indptr", "nbr_indices",
+        "out_lists", "in_lists", "nbr_lists",
+        "link_receiver", "_link_index", "_weight_by_key",
+        "_edge_order", "_link_pairs",
+    )
+
+    def __init__(self, n: int, edges: Iterable[Sequence[int]]) -> None:
+        if n <= 0:
+            raise ValueError("network needs at least one vertex")
+        self.n = n
+
+        out_lists: List[List[int]] = [[] for _ in range(n)]
+        in_lists: List[List[int]] = [[] for _ in range(n)]
+        neighbor_sets: List[set] = [set() for _ in range(n)]
+        weight_by_key: Dict[int, int] = {}
+        edge_order: List[int] = []
+
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                w = 1
+            else:
+                u, v, w = edge
+            if not (0 <= u < n) or not (0 <= v < n):
+                raise UnknownVertexError(u if not (0 <= u < n) else v)
+            if u == v:
+                raise ValueError(f"self-loop at {u} is not allowed")
+            if w <= 0:
+                raise ValueError(f"edge ({u},{v}) has non-positive weight")
+            key = u * n + v
+            if key in weight_by_key:
+                continue  # ignore parallel duplicates
+            weight_by_key[key] = int(w)
+            edge_order.append(key)
+            out_lists[u].append(v)
+            in_lists[v].append(u)
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+
+        nbr_lists = [sorted(s) for s in neighbor_sets]
+
+        self.out_lists = out_lists
+        self.in_lists = in_lists
+        self.nbr_lists = nbr_lists
+        self.out_indptr, self.out_indices = _flatten(out_lists)
+        self.in_indptr, self.in_indices = _flatten(in_lists)
+        self.nbr_indptr, self.nbr_indices = _flatten(nbr_lists)
+
+        # Receiver-major directed-link ids: link (u -> v) sits in v's
+        # block of the undirected-support CSR, so ``nbr_indices`` doubles
+        # as the lid -> sender map.
+        link_index: Dict[int, int] = {}
+        link_receiver: List[int] = [0] * len(self.nbr_indices)
+        for v in range(n):
+            base = self.nbr_indptr[v]
+            for offset, u in enumerate(nbr_lists[v]):
+                lid = base + offset
+                link_index[u * n + v] = lid
+                link_receiver[lid] = v
+        self._link_index = link_index
+        self.link_receiver = link_receiver
+        self.num_dirlinks = len(self.nbr_indices)
+        self.num_edges = len(weight_by_key)
+        self._weight_by_key = weight_by_key
+        self._edge_order = edge_order
+        self._link_pairs: Optional[frozenset] = None
+
+    # -- accessors ---------------------------------------------------------
+
+    def out_neighbors(self, u: int) -> List[int]:
+        """Heads of directed edges leaving ``u`` (do not mutate)."""
+        return self.out_lists[u]
+
+    def in_neighbors(self, u: int) -> List[int]:
+        """Tails of directed edges entering ``u`` (do not mutate)."""
+        return self.in_lists[u]
+
+    def neighbors(self, u: int) -> List[int]:
+        """Sorted communication neighbors of ``u`` (do not mutate)."""
+        return self.nbr_lists[u]
+
+    def degree(self, u: int) -> int:
+        return self.nbr_indptr[u + 1] - self.nbr_indptr[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u * self.n + v) in self._weight_by_key
+
+    def has_link(self, u: int, v: int) -> bool:
+        return (u * self.n + v) in self._link_index
+
+    def link_id(self, u: int, v: int) -> int:
+        """Dense id of directed link ``u -> v`` (O(1); raises if absent)."""
+        try:
+            return self._link_index[u * self.n + v]
+        except KeyError:
+            raise KeyError((u, v)) from None
+
+    def link_endpoints(self, lid: int) -> Tuple[int, int]:
+        """``(sender, receiver)`` of directed link ``lid``."""
+        return self.nbr_indices[lid], self.link_receiver[lid]
+
+    def weight(self, u: int, v: int) -> int:
+        try:
+            return self._weight_by_key[u * self.n + v]
+        except KeyError:
+            raise KeyError((u, v)) from None
+
+    def directed_edges(self) -> Iterator[Tuple[int, int]]:
+        """Directed edges in input order (duplicates removed)."""
+        n = self.n
+        return ((key // n, key % n) for key in self._edge_order)
+
+    def link_pairs(self) -> frozenset:
+        """Frozenset of directed link tuples.
+
+        Lazily built; only the pre-fabric reference engine (kept as the
+        equivalence/benchmark baseline) still probes tuple sets.
+        """
+        if self._link_pairs is None:
+            n = self.n
+            self._link_pairs = frozenset(
+                (key // n, key % n) for key in self._link_index)
+        return self._link_pairs
+
+
+def downstream_step_tables(
+    topology: CSRTopology,
+    direction: str,
+    avoid_edges: frozenset = frozenset(),
+    delay=None,
+) -> Tuple[List[List[Tuple[int, int]]], List[Dict[int, int]]]:
+    """Precomputed per-run send/settle tables for hop-advancing BFS.
+
+    ``avoid_edges`` and ``delay`` are fixed for a whole run, so every
+    hop-BFS variant (plain, k-source, pruned Lemma 4.2) hoists the
+    membership filtering and the per-edge hop advance out of its round
+    loop through this one helper.  Returns
+
+    * ``pairs[u]`` — list of ``(v, step)``: the vertices one hop
+      downstream of ``u`` for the given direction (``"out"`` follows
+      edges, ``"in"`` walks them backward), with the exact-hop advance
+      of the connecting edge (1 when ``delay`` is None, else
+      ``delay(weight)`` — the G_d subdivision of Section 7);
+    * ``step_in[v]`` — ``{sender: step}``: the same steps keyed for the
+      receiving side.  Both endpoints know each edge's weight, so
+      sender-side pruning and receiver-side settling legitimately read
+      one shared table.
+    """
+    if direction == "out":
+        raw = [[(v, u, v) for v in targets if (u, v) not in avoid_edges]
+               for u, targets in enumerate(topology.out_lists)]
+    elif direction == "in":
+        raw = [[(x, x, u) for x in sources if (x, u) not in avoid_edges]
+               for u, sources in enumerate(topology.in_lists)]
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    if delay is None:
+        pairs = [[(v, 1) for v, _, _ in row] for row in raw]
+    else:
+        weight = topology.weight
+        pairs = [[(v, delay(weight(tail, head)))
+                  for v, tail, head in row] for row in raw]
+    step_in: List[Dict[int, int]] = [{} for _ in range(topology.n)]
+    for u, row in enumerate(pairs):
+        for v, step in row:
+            step_in[v][u] = step
+    return pairs, step_in

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..congest.network import CongestNetwork
+from ..congest.topology import downstream_step_tables
 
 EdgeSet = FrozenSet[Tuple[int, int]]
 _EMPTY: EdgeSet = frozenset()
@@ -104,6 +105,17 @@ def pruned_max_hop_bfs(
     name = phase if phase is not None else f"hop-bfs(L4.2,{sense})"
     record = set(record_for) if record_for is not None else set(
         range(net.n))
+
+    # ``avoid_edges`` and ``delay`` are fixed for the whole run: hoist
+    # the filtered send targets and per-link hop advances out of the
+    # round loop (batch-friendly outbox construction — the inner loop
+    # below only formats messages over prebuilt lists).  Backward walks
+    # send against edge directions, i.e. the "in" downstream tables.
+    targets, step_in = downstream_step_tables(
+        net.topology, "in" if sense == "backward" else "out",
+        avoid_edges, delay)
+    exchange = net.exchange
+
     with net.ledger.phase(name):
         tables: Dict[int, List[Optional[Value]]] = {
             u: [None] * (hop_limit + 1) for u in record
@@ -120,19 +132,12 @@ def pruned_max_hop_bfs(
         for d in range(1, hop_limit + 1):
             outbox: Dict[int, list] = {}
             for u, value in current.items():
-                sends = []
-                if sense == "backward":
-                    for x in net.in_neighbors(u):
-                        if (x, u) not in avoid_edges:
-                            sends.append((x, ("hopv", value[0], value[1])))
-                else:
-                    for x in net.out_neighbors(u):
-                        if (u, x) not in avoid_edges:
-                            sends.append((x, ("hopv", value[0], value[1])))
-                if sends:
-                    outbox[u] = sends
+                row = targets[u]
+                if row:
+                    message = ("hopv", value[0], value[1])
+                    outbox[u] = [(x, message) for x, _ in row]
             if outbox:
-                inbox = net.exchange(outbox)
+                inbox = exchange(outbox)
             else:
                 if not run_full_budget and not scheduled:
                     break
@@ -141,14 +146,9 @@ def pruned_max_hop_bfs(
             # Receivers schedule arrivals for the exact hop at which the
             # walk completes the (possibly subdivided) edge.
             for x, arrivals in inbox.items():
+                steps = step_in[x]
                 for sender, (_, idx, aux) in arrivals:
-                    step = 1
-                    if delay is not None:
-                        if sense == "backward":
-                            step = delay(net.weight(x, sender))
-                        else:
-                            step = delay(net.weight(sender, x))
-                    arrive = (d - 1) + step
+                    arrive = (d - 1) + steps[sender]
                     if arrive > hop_limit:
                         continue
                     bucket = scheduled.setdefault(arrive, {})

@@ -130,12 +130,10 @@ def compute_landmark_distances(
 
         # Each landmark l_b broadcasts its hop distance *from* every l_a
         # (which it learned as a vertex in the forward BFS).
-        messages: Dict[int, list] = {}
-        for b, l_b in enumerate(landmarks):
-            messages[l_b] = [
-                ("pair", a, b, forward_hops[a][l_b])
-                for a in range(k)
-            ]
+        messages: Dict[int, list] = {
+            l_b: [("pair", a, b, forward_hops[a][l_b]) for a in range(k)]
+            for b, l_b in enumerate(landmarks)
+        }
         pairs = broadcast_messages(net, tree, messages,
                                    phase="pair-broadcast(L2.4)")
         pair_hops = [[INF] * k for _ in range(k)]
@@ -147,29 +145,37 @@ def compute_landmark_distances(
 
         # Local completion (Lemma 5.6 and its forward mirror): every
         # vertex stitches its hop-bounded distances with the closure.
-        from_landmark = [[INF] * net.n for _ in range(k)]
-        to_landmark = [[INF] * net.n for _ in range(k)]
-        for v in range(net.n):
-            direct_from = [forward_hops[a][v] for a in range(k)]
-            direct_to = [backward_hops[a][v] for a in range(k)]
-            for a in range(k):
-                best_f = (hops_to_length(direct_from[a])
-                          if direct_from[a] < INF else INF)
-                best_t = (hops_to_length(direct_to[a])
-                          if direct_to[a] < INF else INF)
-                row = closure[a]
+        # Hop->length conversions are hoisted into per-landmark length
+        # rows once; sums against an INF operand can never undercut a
+        # finite candidate, so the guarded inner branches collapse to
+        # plain min-scans over precomputed rows.
+        n = net.n
+        from_len = [[hops_to_length(h) if h < INF else INF
+                     for h in forward_hops[a]] for a in range(k)]
+        to_len = [[hops_to_length(h) if h < INF else INF
+                   for h in backward_hops[a]] for a in range(k)]
+        closure_t = [[closure[mid][a] for mid in range(k)]
+                     for a in range(k)]
+        from_landmark = [[INF] * n for _ in range(k)]
+        to_landmark = [[INF] * n for _ in range(k)]
+        for a in range(k):
+            row = closure[a]
+            col = closure_t[a]
+            direct_f = from_len[a]
+            direct_t = to_len[a]
+            out_f = from_landmark[a]
+            out_t = to_landmark[a]
+            for v in range(n):
+                best_f = direct_f[v]
+                best_t = direct_t[v]
                 for mid in range(k):
-                    if row[mid] < INF and direct_from[mid] < INF:
-                        candidate = row[mid] + hops_to_length(
-                            direct_from[mid])
-                        if candidate < best_f:
-                            best_f = candidate
-                    if closure[mid][a] < INF and direct_to[mid] < INF:
-                        candidate = hops_to_length(
-                            direct_to[mid]) + closure[mid][a]
-                        if candidate < best_t:
-                            best_t = candidate
-                from_landmark[a][v] = clamp_inf(best_f)
-                to_landmark[a][v] = clamp_inf(best_t)
+                    candidate = row[mid] + from_len[mid][v]
+                    if candidate < best_f:
+                        best_f = candidate
+                    candidate = to_len[mid][v] + col[mid]
+                    if candidate < best_t:
+                        best_t = candidate
+                out_f[v] = clamp_inf(best_f)
+                out_t[v] = clamp_inf(best_t)
         return LandmarkDistances(
             landmarks, closure, from_landmark, to_landmark)

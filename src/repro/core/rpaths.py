@@ -19,11 +19,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..congest.metrics import RoundLedger
-from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance
-from .knowledge import PathKnowledge, acquire_path_knowledge, oracle_knowledge
+from .knowledge import acquire_path_knowledge, oracle_knowledge
 from .long_detour import long_detour_lengths
 from .short_detour import short_detour_lengths
 
@@ -75,6 +74,7 @@ def solve_rpaths(
     use_oracle_knowledge: bool = False,
     bandwidth_words: Optional[int] = None,
     compute_diameter: bool = False,
+    fabric: str = "fast",
 ) -> RPathsReport:
     """Theorem 1: solve unweighted directed RPaths on the instance.
 
@@ -89,6 +89,9 @@ def solve_rpaths(
         Skip the Lemma 2.5 phase and grant its output for free — used by
         unit tests to isolate later stages; end-to-end runs leave this
         False.
+    fabric:
+        Exchange engine (``"fast"``/``"strict"``/``"reference"``); the
+        fabric equivalence tests run the full solver on each.
     """
     if instance.weighted:
         raise ValueError(
@@ -97,7 +100,8 @@ def solve_rpaths(
     if zeta is None:
         zeta = default_zeta(instance.n)
 
-    net = instance.build_network(bandwidth_words=bandwidth_words)
+    net = instance.build_network(bandwidth_words=bandwidth_words,
+                                 fabric=fabric)
     tree = build_spanning_tree(net)
     if use_oracle_knowledge:
         knowledge = oracle_knowledge(instance)

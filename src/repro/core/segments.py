@@ -136,16 +136,19 @@ def finish_distance_tables(
     num_segments = len(checkpoints) - 1
     with net.ledger.phase(phase):
         # Broadcast the full-segment values (Lemma 5.8's O(ℓ·|L|) words).
+        # Each origin's batch is built in one extend per segment instead
+        # of 2·|L| setdefault probes.
         messages: Dict[int, list] = {}
         for g in range(num_segments):
             left, right = checkpoints[g], checkpoints[g + 1]
             origin_m = path[right]
             origin_n = path[left]
-            for j in range(k):
-                messages.setdefault(origin_m, []).append(
-                    ("Mseg", g, j, prefix_table[g][j][right]))
-                messages.setdefault(origin_n, []).append(
-                    ("Nseg", g, j, suffix_table[g][j][left]))
+            m_row = prefix_table[g]
+            n_row = suffix_table[g]
+            messages.setdefault(origin_m, []).extend(
+                ("Mseg", g, j, m_row[j][right]) for j in range(k))
+            messages.setdefault(origin_n, []).extend(
+                ("Nseg", g, j, n_row[j][left]) for j in range(k))
         records = broadcast_messages(net, tree, messages,
                                      phase="segment-broadcast(L2.4)")
         m_seg = [[INF] * k for _ in range(num_segments)]
@@ -190,16 +193,18 @@ def finish_distance_tables(
                     suffix_table[g][j].get(pos, INF), n_after[g][j])
 
         with net.ledger.phase("N-shift"):
+            # Path vertices are pairwise distinct (P is a shortest
+            # path), so each round's outbox is one message per path
+            # vertex — built directly, no setdefault probes.
             n_final = [[INF] * h for _ in range(k)]
             for j in range(k):
-                outbox: Dict[int, list] = {}
-                for pos in range(1, h + 1):
-                    outbox.setdefault(path[pos], []).append(
-                        (path[pos - 1], ("Nshift", j,
-                                         n_at_vertex[j][pos])))
+                row = n_at_vertex[j]
+                outbox: Dict[int, list] = {
+                    path[pos]: [(path[pos - 1], ("Nshift", j, row[pos]))]
+                    for pos in range(1, h + 1)
+                }
                 net.exchange(outbox)
-                for i in range(h):
-                    n_final[j][i] = n_at_vertex[j][i + 1]
+                n_final[j][:] = row[1:h + 1]
         return {"M": m_final, "N": n_final}
 
 

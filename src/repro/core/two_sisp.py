@@ -10,10 +10,9 @@ O(D) rounds" the reduction in Corollary 6.2 charges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..congest.broadcast import global_min
-from ..congest.metrics import RoundLedger
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..congest.bfs import bfs_tree, sssp_distances_weighted
 from ..congest.broadcast import (
@@ -42,7 +42,6 @@ from ..congest.broadcast import (
 )
 from ..congest.errors import InvalidInstanceError
 from ..congest.metrics import RoundLedger
-from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF, clamp_inf
 from ..graphs.instance import RPathsInstance

@@ -52,6 +52,8 @@ class RPathsInstance:
         default=None, repr=False, compare=False)
     _radj: Optional[List[List[Tuple[int, int]]]] = field(
         default=None, repr=False, compare=False)
+    _topology: Optional[object] = field(
+        default=None, repr=False, compare=False)
 
     # -- basic accessors -----------------------------------------------------
 
@@ -117,7 +119,7 @@ class RPathsInstance:
     def max_weight(self) -> int:
         return max((w for _, _, w in self.edges), default=1)
 
-    # -- centralized shortest paths (oracle machinery) -------------------------
+    # -- centralized shortest paths (oracle machinery) -----------------------
 
     def dijkstra(self, source: int, reverse: bool = False,
                  avoid_edges: FrozenSet[Edge] = frozenset()) -> List[int]:
@@ -159,7 +161,7 @@ class RPathsInstance:
                     heapq.heappush(heap, (nd, v))
         return dist
 
-    # -- validation ------------------------------------------------------------
+    # -- validation ----------------------------------------------------------
 
     def validate(self) -> None:
         """Raise :class:`InvalidInstanceError` on any broken precondition."""
@@ -200,15 +202,27 @@ class RPathsInstance:
         if not net.is_connected():
             raise InvalidInstanceError("communication graph is disconnected")
 
-    # -- simulator glue ----------------------------------------------------------
+    # -- simulator glue ------------------------------------------------------
 
     def build_network(self, bandwidth_words: Optional[int] = None,
-                      strict: bool = False) -> CongestNetwork:
-        """Instantiate a fresh CONGEST network for this instance."""
+                      strict: bool = False,
+                      fabric: str = "fast") -> CongestNetwork:
+        """Instantiate a fresh CONGEST network for this instance.
+
+        The frozen :class:`~repro.congest.topology.CSRTopology` is built
+        once per instance and shared by every network (fresh ledgers,
+        shared adjacency), so repeated solver runs stop paying graph
+        re-parsing.
+        """
+        if self._topology is None:
+            from ..congest.topology import CSRTopology
+            self._topology = CSRTopology(self.n, self.edges)
         kwargs = {}
         if bandwidth_words is not None:
             kwargs["bandwidth_words"] = bandwidth_words
-        return CongestNetwork(self.n, self.edges, strict=strict, **kwargs)
+        return CongestNetwork(self.n, self.edges, strict=strict,
+                              fabric=fabric, topology=self._topology,
+                              **kwargs)
 
 
 def instance_from_edges(

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..baselines.centralized import replacement_lengths
-from ..congest.words import INF
 from .hard_instance import (
     HardInstance,
     expected_optimal_length,

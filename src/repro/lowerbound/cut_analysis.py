@@ -16,7 +16,7 @@ observable trace of the bottleneck the lemma formalizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Callable, Sequence, Set
 
 from ..congest.network import CongestNetwork
 from .hard_instance import HardInstance

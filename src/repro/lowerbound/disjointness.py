@@ -10,7 +10,7 @@ b-bit upper-bound protocol, so the reduction experiments can report
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 
 def inner_product(x: Sequence[int], y: Sequence[int]) -> int:

@@ -24,7 +24,6 @@ from typing import List, Optional, Sequence
 from ..core.two_sisp import solve_two_sisp
 from .disjointness import disjointness
 from .hard_instance import (
-    HardInstance,
     build_hard_instance,
     expected_optimal_length,
 )

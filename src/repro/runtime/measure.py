@@ -39,6 +39,13 @@ class Measurement:
     lengths: List[float] = field(default_factory=list, repr=False)
     extras: Dict[str, object] = field(default_factory=dict)
 
+    @property
+    def rounds_per_sec(self) -> float:
+        """Fabric throughput of this execution (0.0 when untimed)."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.rounds / self.wall_time
+
     def metrics(self) -> Dict[str, object]:
         """Flat JSON-safe metrics mapping (CellResult.metrics shape)."""
         out: Dict[str, object] = {

@@ -14,7 +14,7 @@ light and catalog <-> registry imports cannot cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .results import CellSpec

@@ -94,8 +94,23 @@ class CellResult:
         value = self.metrics.get("correct")
         return None if value is None else bool(value)
 
+    @property
+    def rounds_per_sec(self) -> Optional[float]:
+        """Fabric throughput of this cell: simulated rounds per second.
+
+        Derived from the deterministic ``rounds`` metric and the
+        measured wall time (which, like throughput, lives *outside*
+        ``metrics`` so the determinism invariant stays intact).  None
+        when the cell reports no round count or no usable wall time.
+        """
+        rounds = self.metrics.get("rounds")
+        if not isinstance(rounds, int) or self.wall_time <= 0:
+            return None
+        return rounds / self.wall_time
+
     def to_json(self) -> str:
         """One-line JSON rendering (JSONL-friendly)."""
+        rps = self.rounds_per_sec
         return json.dumps({
             "scenario": self.scenario,
             "params": self.params,
@@ -104,6 +119,7 @@ class CellResult:
             "status": self.status,
             "metrics": self.metrics,
             "wall_time": self.wall_time,
+            "rounds_per_sec": None if rps is None else round(rps, 1),
             "error": self.error,
         }, sort_keys=True)
 

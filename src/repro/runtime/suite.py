@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pathlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .executor import run_cells
@@ -56,6 +56,17 @@ class SuiteReport:
             cached = sum(1 for c in cells if c.cached)
             rounds = [c.metrics.get("rounds") for c in cells
                       if isinstance(c.metrics.get("rounds"), int)]
+            # Fabric throughput over the scenario's freshly-executed
+            # cells (cached cells carry their original wall time, which
+            # says nothing about this run's fabric).
+            fresh = [c for c in cells
+                     if not c.cached and c.rounds_per_sec is not None]
+            if fresh:
+                total_rounds = sum(c.metrics["rounds"] for c in fresh)
+                total_wall = sum(c.wall_time for c in fresh)
+                rps = f"{total_rounds / total_wall:.0f}"
+            else:
+                rps = "-"
             rows.append([
                 name,
                 len(cells),
@@ -63,6 +74,7 @@ class SuiteReport:
                 f"{correct}/{len(cells)}",
                 cached,
                 max(rounds) if rounds else "-",
+                rps,
                 f"{sum(c.wall_time for c in cells):.2f}s",
             ])
         return rows
@@ -141,7 +153,7 @@ def format_suite_report(report: SuiteReport, title: str = "") -> str:
 
     table = format_table(
         ["scenario", "cells", "ok", "correct", "cached", "max rounds",
-         "wall"],
+         "rounds/s", "wall"],
         report.summary_rows(),
         title=title or "suite results",
     )

@@ -1,6 +1,5 @@
 """Tests for the analysis helpers (fits, tables, experiment drivers)."""
 
-import math
 
 import pytest
 

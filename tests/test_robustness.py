@@ -40,7 +40,6 @@ class TestRandomPhi:
         k = 2
         matrix = [[1, 0], [0, 0]]
         x = [1, 1, 1, 1]
-        from repro.lowerbound import lexicographic_phi
         hard_lex = build_hard_instance(k, 2, 1, matrix, x)
         rep_lex = verify_correspondence(hard_lex)
         swapped = self.random_phi(k, seed=1)
