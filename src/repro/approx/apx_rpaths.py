@@ -59,6 +59,7 @@ def solve_apx_rpaths(
     landmark_c: float = 2.0,
     use_oracle_knowledge: bool = False,
     bandwidth_words: Optional[int] = None,
+    fabric: str = "fast",
 ) -> ApxRPathsReport:
     """Theorem 3: solve (1+ε)-Apx-RPaths on a weighted directed instance.
 
@@ -68,7 +69,8 @@ def solve_apx_rpaths(
     if zeta is None:
         zeta = default_zeta(instance.n)
 
-    net = instance.build_network(bandwidth_words=bandwidth_words)
+    net = instance.build_network(bandwidth_words=bandwidth_words,
+                                 fabric=fabric)
     tree = build_spanning_tree(net)
     if use_oracle_knowledge:
         knowledge = oracle_knowledge(instance)

@@ -55,6 +55,7 @@ def solve_rpaths_mr24(
     seed: int = 0,
     landmarks: Optional[Sequence[int]] = None,
     landmark_c: float = 2.0,
+    fabric: str = "fast",
 ) -> MR24Report:
     """Run the MR24b-style algorithm (exact answers, h_st-heavy rounds)."""
     if instance.weighted:
@@ -67,7 +68,7 @@ def solve_rpaths_mr24(
         zeta = max(1, math.ceil(n ** (2.0 / 3.0)))
     avoid = instance.path_edge_set()
 
-    net = instance.build_network()
+    net = instance.build_network(fabric=fabric)
     tree = build_spanning_tree(net)
 
     with net.ledger.phase("mr24"):

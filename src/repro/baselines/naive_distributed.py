@@ -36,12 +36,13 @@ class NaiveReport:
         return self.ledger.rounds
 
 
-def solve_rpaths_naive(instance: RPathsInstance) -> NaiveReport:
+def solve_rpaths_naive(instance: RPathsInstance,
+                       fabric: str = "fast") -> NaiveReport:
     """Run the trivial algorithm; exact output, h_st-proportional rounds."""
     if instance.weighted:
         raise ValueError("the trivial baseline here targets unweighted "
                          "instances (the Section 1.1 remark's regime)")
-    net = instance.build_network()
+    net = instance.build_network(fabric=fabric)
     tree = build_spanning_tree(net)
     lengths: List[int] = []
     with net.ledger.phase("naive(h_st x SSSP)"):

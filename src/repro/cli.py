@@ -174,6 +174,7 @@ def cmd_suite_run(args) -> int:
             timeout=args.timeout,
             label=args.label,
             record=not args.no_record,
+            fabric=args.fabric,
         )
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}")
@@ -277,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: one per CPU)")
     p_run.add_argument("--smoke", action="store_true",
                        help="tiny parameter points only (CI-sized)")
+    p_run.add_argument("--fabric", default=None,
+                       choices=["reference", "fast", "vector"],
+                       help="force every cell onto one exchange engine "
+                            "(cached separately per fabric; default: "
+                            "each scenario's own choice)")
     p_run.add_argument("--no-cache", action="store_true",
                        help="ignore and do not update the "
                             "content-addressed result cache "

@@ -9,6 +9,10 @@ environment:
   :mod:`~repro.congest.fastpath` — the communication fabric proper:
   frozen CSR adjacency with dense link ids, and batched flat-buffer
   message delivery with validation hoisted behind a flag;
+* :mod:`~repro.congest.kernels` — the vector fabric: NumPy
+  whole-frontier kernels for the round loops of the pruned hop-BFS,
+  the k-source BFS, and the pipelined broadcast, bit-identical to the
+  message engines in results and ledger accounting;
 * :class:`~repro.congest.metrics.RoundLedger` — round/message/congestion
   bookkeeping with named phases;
 * BFS primitives (:mod:`~repro.congest.bfs`), the k-source h-hop BFS of
@@ -27,6 +31,7 @@ from .errors import (
     UnknownVertexError,
 )
 from .fastpath import FabricState, exchange_batch, exchange_reference
+from .kernels import vector_enabled
 from .metrics import PhaseStats, RoundLedger
 from .network import DEFAULT_BANDWIDTH_WORDS, FABRICS, CongestNetwork
 from .topology import CSRTopology
@@ -74,5 +79,6 @@ __all__ = [
     "multi_source_hop_bfs",
     "run_path_sweeps",
     "sssp_distances_weighted",
+    "vector_enabled",
     "words_of",
 ]

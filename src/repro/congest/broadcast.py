@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from . import kernels
 from .network import CongestNetwork
 from .spanning_tree import SpanningTree
 
@@ -45,6 +46,9 @@ def broadcast_messages(
     link, which the engine tracks.)
     """
     name = phase if phase is not None else "broadcast"
+    if kernels.broadcast_vector_applicable(net):
+        return kernels.broadcast_messages_vector(net, tree, messages,
+                                                 name)
     tree_nbrs = [tree.tree_neighbors(v) for v in range(net.n)]
     exchange = net.exchange
     with net.ledger.phase(name):

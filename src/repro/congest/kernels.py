@@ -1,0 +1,532 @@
+"""NumPy array kernels: whole-frontier CONGEST rounds without messages.
+
+``fabric="vector"`` keeps the batched exchange engine for every
+primitive these kernels do not cover, but routes the round loops that
+dominate the post-PR-2 profile — the pruned hop-BFS of Lemma 4.2, the
+k-source hop BFS of Lemma 5.5, and the pipelined tree broadcast of
+Lemma 2.4 — through whole-frontier computation over the frozen CSR
+arrays (:meth:`~repro.congest.topology.CSRTopology.arrays` /
+:meth:`~repro.congest.topology.CSRTopology.send_arrays`): one
+synchronous round becomes a handful of vectorized operations (frontier
+gathers via CSR range expansion, delay-shifted scheduling buckets,
+segmented max/min via ``np.maximum.at``/``np.minimum.at``) instead of
+one Python tuple per (sender, target) pair.
+
+The contract, asserted by ``tests/test_kernel_equivalence.py``, is
+**bit-identical observables**: the kernels return exactly the result
+tables the message engines return, and charge the
+:class:`~repro.congest.metrics.RoundLedger` exactly the same per-phase
+rounds, message counts, word totals, per-link maxima, and violation
+counts.  The message engines stay the semantic oracles; a kernel that
+cannot guarantee parity for a given call (non-functional auxiliary
+words, ``record_link_totals`` cut analysis, NumPy absent, key-encoding
+overflow) must decline via its ``*_applicable`` predicate so the
+dispatchers in :mod:`repro.core.hop_bfs`,
+:mod:`repro.congest.multisource`, and :mod:`repro.congest.broadcast`
+fall back to the message path.
+
+NumPy is imported lazily (module import never touches it), so the
+message engines remain importable — and fully functional — without it.
+
+Ledger parity leans on one structural invariant of the BFS kernels:
+in any round, each directed link carries at most one message, and all
+messages of the round have the same word size.  The per-round charge
+is therefore ``(M messages, M·size words, max_link = size,
+violations = M·[size > bandwidth])`` — exactly what
+:func:`~repro.congest.fastpath.exchange_batch` computes message by
+message.  The broadcast kernel charges per-item sizes the same way the
+per-link FIFO engine does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple,
+)
+
+from .errors import BandwidthExceededError
+from .words import INF, words_of
+
+Value = Tuple[int, int]
+EdgeSet = FrozenSet[Tuple[int, int]]
+
+#: Wire size of the BFS kernel messages.  Both schedules send
+#: ``(tag, int, int)`` tuples whose tag is at most 8 characters, so the
+#: size is independent of the carried values.
+HOP_MESSAGE_WORDS = words_of(("hopv", 0, 0))
+
+#: Magnitude bound for values packed into int64 kernel arrays.
+_INT64_SAFE = 1 << 62
+
+_NUMPY = None
+_NUMPY_CHECKED = False
+
+
+def numpy_or_none():
+    """NumPy module, or None when unavailable (checked once, lazily)."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:  # pragma: no cover - numpy is baked in CI
+            _NUMPY = None
+        _NUMPY_CHECKED = True
+    return _NUMPY
+
+
+def vector_enabled(net) -> bool:
+    """Should ``net`` route kernel-covered primitives through arrays?
+
+    Requires the vector fabric, NumPy, and no per-link total recording
+    (the lower-bound cut analysis wants genuine per-message routing).
+    """
+    return (getattr(net, "fabric", None) == "vector"
+            and not net.record_link_totals
+            and numpy_or_none() is not None)
+
+
+def _fits_int64(value: int) -> bool:
+    return -_INT64_SAFE < value < _INT64_SAFE
+
+
+def _expand_ranges(np, starts, counts, total: int):
+    """Concatenated ``[starts[i], starts[i]+counts[i])`` slot indices."""
+    shifts = np.concatenate(
+        (np.zeros(1, dtype=np.int64),
+         np.cumsum(counts, dtype=np.int64)[:-1]))
+    return np.repeat(starts - shifts, counts) + np.arange(
+        total, dtype=np.int64)
+
+
+def _charge_uniform_round(net, messages: int, size: int) -> None:
+    """Charge one round of equal-size messages on distinct links.
+
+    Mirrors :func:`~repro.congest.fastpath.exchange_batch` for the BFS
+    kernels' schedules (at most one message per directed link): the
+    ledger is charged *before* a strict-mode overload raises, exactly
+    like the message engines, so post-mortem ledgers stay truthful.
+    """
+    if messages:
+        violations = messages if size > net.bandwidth_words else 0
+        net.ledger.charge_round(messages, messages * size, size,
+                                violations)
+    else:
+        net.ledger.charge_round(0, 0, 0)
+
+
+def _raise_first_overload(net, senders, targets, size: int) -> None:
+    """Cold path: raise the same first-overload error the fabric would.
+
+    ``exchange_batch`` reports the overloaded link with the smallest
+    receiver-major link id; replicate that ordering over the round's
+    (sender, target) pairs.
+    """
+    topology = net.topology
+    best = None
+    for u, x in zip(senders, targets):
+        lid = topology.link_id(int(u), int(x))
+        if best is None or lid < best[0]:
+            best = (lid, int(u), int(x))
+    assert best is not None
+    raise BandwidthExceededError(best[1], best[2], size,
+                                 net.bandwidth_words)
+
+
+# -- pruned hop-BFS (Lemma 4.2) ---------------------------------------------
+
+
+def hop_bfs_vector_applicable(net, seeds: Mapping[int, Value]) -> bool:
+    """Can the pruned hop-BFS run on the array kernel for ``seeds``?
+
+    Beyond :func:`vector_enabled`, the kernel tracks frontiers by path
+    index alone, recovering the auxiliary word through an index->aux
+    map at recording time; that is only sound under the documented
+    contract that the auxiliary word is a function of the index.  A
+    seed set violating it (or carrying non-int64-able values) falls
+    back to the message path.
+    """
+    if not vector_enabled(net):
+        return False
+    aux_of: Dict[int, int] = {}
+    for u, value in seeds.items():
+        idx, aux = value
+        if not isinstance(idx, int) or not isinstance(aux, int):
+            return False
+        if not (_fits_int64(idx) and _fits_int64(aux)
+                and 0 <= u < net.n):
+            return False
+        if aux_of.setdefault(idx, aux) != aux:
+            return False
+    return True
+
+
+def pruned_max_hop_bfs_vector(
+    net,
+    seeds: Mapping[int, Value],
+    hop_limit: int,
+    avoid_edges: EdgeSet,
+    delay: Optional[Callable[[int], int]],
+    record_for: Optional[Sequence[int]],
+    name: str,
+    run_full_budget: bool,
+    sense: str,
+    select: str,
+) -> Dict[int, List[Optional[Value]]]:
+    """Whole-frontier rounds of the pruned hop-BFS (Lemma 4.2).
+
+    Bit-identical to the message path in ``repro.core.hop_bfs``: same
+    tables, same ledger.  Per round: one CSR range expansion over the
+    frontier, one delay shift into per-arrival-hop buckets, one
+    segmented max (or min) per touched bucket.
+    """
+    np = numpy_or_none()
+    n = net.n
+    direction = "in" if sense == "backward" else "out"
+    # Build the send plan before opening the phase: a pathological
+    # delay function overflows here, before anything is charged, so
+    # the dispatcher can still fall back to the message path.
+    indptr, indices, steps = net.topology.send_arrays(
+        direction, avoid_edges, delay)
+    # Unit steps (the unweighted Lemma 4.2) collapse the scheduling:
+    # everything sent in round d arrives at exact hop d.
+    unit_steps = delay is None or bool((steps == 1).all())
+    prefer_larger = select == "max"
+    reduce_at = np.maximum.at if prefer_larger else np.minimum.at
+    sentinel = -_INT64_SAFE if prefer_larger else _INT64_SAFE
+    aux_of = {value[0]: value[1] for value in seeds.values()}
+    record = (None if record_for is None else set(record_for))
+    size = HOP_MESSAGE_WORDS
+    overload = net.strict and size > net.bandwidth_words
+    empty = np.zeros(0, dtype=np.int64)
+
+    with net.ledger.phase(name):
+        fr_v = np.fromiter(seeds.keys(), dtype=np.int64,
+                           count=len(seeds))
+        fr_idx = np.fromiter((v[0] for v in seeds.values()),
+                             dtype=np.int64, count=len(seeds))
+        #: arrival hop -> dense best-index array (lazily allocated; at
+        #: most max-delay buckets live at once).
+        buckets: Dict[int, object] = {}
+        settled: List[Tuple[int, object, object]] = []
+
+        for d in range(1, hop_limit + 1):
+            if not run_full_budget and not fr_v.size and not buckets:
+                break
+            if fr_v.size:
+                counts = indptr[fr_v + 1] - indptr[fr_v]
+                total = int(counts.sum())
+            else:
+                counts = empty
+                total = 0
+            _charge_uniform_round(net, total, size)
+            if total:
+                slots = _expand_ranges(np, indptr[fr_v], counts, total)
+                if overload:
+                    _raise_first_overload(
+                        net, np.repeat(fr_v, counts), indices[slots],
+                        size)
+                if unit_steps:
+                    # Every send of round d settles at hop d (<= the
+                    # budget, by the loop bound): one segmented reduce.
+                    bucket = buckets.get(d)
+                    if bucket is None:
+                        bucket = buckets[d] = np.full(
+                            n, sentinel, dtype=np.int64)
+                    reduce_at(bucket, indices[slots],
+                              np.repeat(fr_idx, counts))
+                else:
+                    arrive = (d - 1) + steps[slots]
+                    keep = arrive <= hop_limit
+                    targets = indices[slots][keep]
+                    if targets.size:
+                        arrive = arrive[keep]
+                        idx_e = np.repeat(fr_idx, counts)[keep]
+                        for a in np.unique(arrive).tolist():
+                            bucket = buckets.get(a)
+                            if bucket is None:
+                                bucket = buckets[a] = np.full(
+                                    n, sentinel, dtype=np.int64)
+                            mask = arrive == a
+                            reduce_at(bucket, targets[mask],
+                                      idx_e[mask])
+            bucket = buckets.pop(d, None)
+            if bucket is None:
+                fr_v = fr_idx = empty
+            else:
+                fr_v = np.nonzero(bucket != sentinel)[0]
+                fr_idx = bucket[fr_v]
+                settled.append((d, fr_v, fr_idx))
+
+        tables: Dict[int, List[Optional[Value]]] = {
+            u: [None] * (hop_limit + 1)
+            for u in (range(n) if record is None else record)
+        }
+        for u, value in seeds.items():
+            if record is None or u in record:
+                tables[u][0] = value
+        for d, verts, idxs in settled:
+            for u, idx in zip(verts.tolist(), idxs.tolist()):
+                if record is None or u in record:
+                    tables[u][d] = (idx, aux_of[idx])
+        return tables
+
+
+# -- k-source hop BFS (Lemma 5.5) -------------------------------------------
+
+
+def multisource_vector_applicable(net, sources: Sequence[int],
+                                  hop_limit: int) -> bool:
+    """Can the k-source BFS run on the array kernel?
+
+    The kernel encodes the per-vertex priority schedule as lexical
+    keys ``d·k + rank``; decline when that encoding could overflow
+    int64 (absurd hop limits) or when a source is out of range (the
+    message path's error behavior should win there).
+    """
+    if not vector_enabled(net):
+        return False
+    k = len(sources)
+    if hop_limit < 0 or (hop_limit + 2) * max(k, 1) >= _INT64_SAFE:
+        return False
+    return all(isinstance(s, int) and 0 <= s < net.n for s in sources)
+
+
+def multi_source_hop_bfs_vector(
+    net,
+    sources: Sequence[int],
+    hop_limit: int,
+    direction: str,
+    avoid_edges: EdgeSet,
+    delay: Optional[Callable[[int], int]],
+    name: str,
+    max_rounds: Optional[int],
+) -> List[List[int]]:
+    """Whole-frontier rounds of the k-source hop BFS (Lemma 5.5).
+
+    The per-vertex priority queue of the message path is equivalent to
+    "announce the lexicographically smallest (distance, rank) pair not
+    yet announced": stale heap entries can never become valid again,
+    so the queue's valid entries are exactly the un-announced current
+    distances.  The kernel tracks that as a (k, n) un-announced mask
+    plus an incrementally-maintained per-vertex minimal key
+    ``d·k + rank`` — arrivals lower it via ``np.minimum.at``, and only
+    the columns that just announced recompute their minimum.
+    """
+    np = numpy_or_none()
+    n = net.n
+    k = len(sources)
+    if k == 0:
+        with net.ledger.phase(name):
+            return []
+    indptr, indices, steps = net.topology.send_arrays(
+        direction, avoid_edges, delay)
+    size = HOP_MESSAGE_WORDS
+    overload = net.strict and size > net.bandwidth_words
+    # Valid queue entries all have distance <= hop_limit, so
+    # hop_limit + 1 is a safe (non-overflowing) key sentinel.
+    key_cap = (hop_limit + 1) * k
+
+    with net.ledger.phase(name):
+        dist = np.full((k, n), INF, dtype=np.int64)
+        unannounced = np.zeros((k, n), dtype=bool)
+        best_key = np.full(n, key_cap, dtype=np.int64)
+        for rank, s in enumerate(sources):
+            if dist[rank, s] > 0:
+                dist[rank, s] = 0
+                unannounced[rank, s] = True
+                if rank < best_key[s]:  # d == 0: key is the rank
+                    best_key[s] = rank
+        rank_col = np.arange(k, dtype=np.int64)[:, None]
+        dist_flat = dist.reshape(-1)
+        unannounced_flat = unannounced.reshape(-1)
+        rounds_used = 0
+
+        unit_steps = delay is None or bool((steps == 1).all())
+
+        while True:
+            senders = np.nonzero(best_key < key_cap)[0]
+            if not senders.size:
+                break
+            best = best_key[senders]
+            d_s = best // k
+            rank_s = best % k
+            unannounced[rank_s, senders] = False
+            # The announced pair left each sender's queue: recompute
+            # those columns' minima (everyone else is unchanged).
+            best_key[senders] = (
+                np.where(unannounced[:, senders], dist[:, senders],
+                         hop_limit + 1) * k + rank_col).min(axis=0)
+
+            if unit_steps:
+                # The hop-budget prune is per sender, not per edge:
+                # filter before the CSR expansion.
+                ok = d_s < hop_limit
+                send_v = senders[ok]
+                counts = indptr[send_v + 1] - indptr[send_v]
+                sent = int(counts.sum())
+                if sent:
+                    slots = _expand_ranges(np, indptr[send_v], counts,
+                                           sent)
+                    target_e = indices[slots]
+                    cand = np.repeat(d_s[ok] + 1, counts)
+                    rank_e = np.repeat(rank_s[ok], counts)
+            else:
+                counts = indptr[senders + 1] - indptr[senders]
+                total = int(counts.sum())
+                if total:
+                    slots = _expand_ranges(np, indptr[senders], counts,
+                                           total)
+                    cand = np.repeat(d_s, counts) + steps[slots]
+                    keep = cand <= hop_limit
+                    sent = int(keep.sum())
+                    if sent:
+                        send_v = np.repeat(senders, counts)[keep]
+                        target_e = indices[slots][keep]
+                        cand = cand[keep]
+                        rank_e = np.repeat(rank_s, counts)[keep]
+                else:
+                    sent = 0
+            _charge_uniform_round(net, sent, size)
+            if sent and overload:
+                _raise_first_overload(
+                    net,
+                    np.repeat(send_v, counts) if unit_steps else send_v,
+                    target_e, size)
+            rounds_used += 1
+            if max_rounds is not None and rounds_used > max_rounds:
+                break
+            if sent:
+                flat = rank_e * n + target_e
+                before = dist_flat[flat]
+                np.minimum.at(dist_flat, flat, cand)
+                # A candidate below the pre-round distance re-enters
+                # its vertex's queue.  Duplicate (rank, vertex) hits in
+                # one round all pass this test when any does, exactly
+                # like the sequential heap pushes — the stale larger
+                # pushes are unobservable there, and the min-reductions
+                # make them unobservable here.
+                imp = cand < before
+                if imp.any():
+                    fi = flat[imp]
+                    unannounced_flat[fi] = True
+                    np.minimum.at(best_key, target_e[imp],
+                                  cand[imp] * k + rank_e[imp])
+        return dist.tolist()
+
+
+# -- pipelined tree broadcast (Lemma 2.4) -----------------------------------
+
+
+def broadcast_vector_applicable(net) -> bool:
+    """Broadcast kernel gate (same conditions as :func:`vector_enabled`)."""
+    return vector_enabled(net)
+
+
+def broadcast_messages_vector(net, tree, messages, name: str):
+    """Frontier-batched rounds of the pipelined broadcast (Lemma 2.4).
+
+    The per-link FIFO discipline is inherently sequential per queue, so
+    this kernel vectorizes the *round*, not the queue: items travel as
+    dense integer ids with their word size computed once (the message
+    engine re-sizes the same payload on every link it crosses), rounds
+    charge the ledger in one call, and deliveries apply in the exact
+    receiver-major sender-ascending order the exchange engines
+    guarantee — which is what makes the queue states, and therefore the
+    ledgers, bit-identical.
+    """
+    n = net.n
+    bandwidth = net.bandwidth_words
+    strict = net.strict
+    tree_nbrs = [tree.tree_neighbors(v) for v in range(n)]
+
+    with net.ledger.phase(name):
+        queues: Dict[Tuple[int, int], deque] = {}
+        for v in range(n):
+            for u in tree_nbrs[v]:
+                queues[(v, u)] = deque()
+        active: deque = deque()
+
+        def push(link: Tuple[int, int], item_id: int) -> None:
+            queue = queues[link]
+            if not queue:
+                active.append(link)
+            queue.append(item_id)
+
+        all_messages: List[Tuple[int, Tuple]] = []
+        sizes: List[int] = []
+        for origin in sorted(messages):
+            for payload in messages[origin]:
+                item = (origin, payload)
+                item_id = len(all_messages)
+                all_messages.append(item)
+                sizes.append(words_of(item))
+                for u in tree_nbrs[origin]:
+                    push((origin, u), item_id)
+
+        while active:
+            total_words = 0
+            max_link = 0
+            violations = 0
+            first_overload = None
+            #: (receiver, sender, item) triples of this round, applied
+            #: after the synchronous cut in receiver-major order.
+            deliveries: List[Tuple[int, int, int]] = []
+            for _ in range(len(active)):
+                link = active.popleft()
+                queue = queues[link]
+                item_id = queue.popleft()
+                if queue:
+                    active.append(link)
+                deliveries.append((link[1], link[0], item_id))
+                size = sizes[item_id]
+                total_words += size
+                if size > max_link:
+                    max_link = size
+                if size > bandwidth:
+                    violations += 1
+            deliveries.sort()
+            net.ledger.charge_round(len(deliveries), total_words,
+                                    max_link, violations)
+            if strict and violations:
+                for v, sender, item_id in deliveries:
+                    if sizes[item_id] > bandwidth:
+                        first_overload = (sender, v, sizes[item_id])
+                        break
+                assert first_overload is not None
+                raise BandwidthExceededError(*first_overload, bandwidth)
+            for v, sender, item_id in deliveries:
+                for u in tree_nbrs[v]:
+                    if u != sender:
+                        push((v, u), item_id)
+        return sorted(all_messages)
+
+
+# -- local landmark completion (Lemma 5.6) ----------------------------------
+
+
+def landmark_completion_vector(closure, from_len, to_len):
+    """Vectorized min-plus completion of Lemma 5.6 (local computation).
+
+    Every vertex stitches its hop-bounded landmark distances with the
+    broadcast closure; this is ledger-free local work, so the only
+    contract is value equality with the scalar loops in
+    ``repro.core.landmark_distances``.  All operands are bounded by
+    the INF sentinel (2^60), so int64 sums are exact.
+    """
+    np = numpy_or_none()
+    k = len(closure)
+    closure_m = np.asarray(closure, dtype=np.int64)
+    from_m = np.asarray(from_len, dtype=np.int64)
+    to_m = np.asarray(to_len, dtype=np.int64)
+    from_out = []
+    to_out = []
+    for a in range(k):
+        # closure[a][a] == 0, so the min-plus row already includes the
+        # direct hop-bounded distance the scalar loops seed with.
+        best_f = (closure_m[a][:, None] + from_m).min(axis=0)
+        best_t = (closure_m[:, a][:, None] + to_m).min(axis=0)
+        from_out.append(np.where(best_f >= INF, INF, best_f).tolist())
+        to_out.append(np.where(best_t >= INF, INF, best_t).tolist())
+    return from_out, to_out

@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from . import kernels
 from .network import CongestNetwork
 from .topology import downstream_step_tables
 from .words import INF
@@ -64,6 +65,13 @@ def multi_source_hop_bfs(
     ``hop_limit``.
     """
     name = phase if phase is not None else "k-source-bfs"
+    if kernels.multisource_vector_applicable(net, sources, hop_limit):
+        try:
+            return kernels.multi_source_hop_bfs_vector(
+                net, sources, hop_limit, direction, avoid_edges, delay,
+                name, max_rounds)
+        except OverflowError:
+            pass  # pathological delay steps: run the message path
     k = len(sources)
     n = net.n
     downstream, step_in = downstream_step_tables(

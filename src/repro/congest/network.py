@@ -32,9 +32,13 @@ Since PR 2 the network is a thin facade over the swappable fabric:
 ``fabric`` selects the engine: ``"fast"`` (default; deferred validation,
 still raises the proper model errors for in-range vertex ids),
 ``"strict"`` (per-message validation, airtight even against wildly
-out-of-range ids), or ``"reference"`` (the pre-fabric per-message loop,
-kept as the equivalence oracle and benchmark baseline).  All three are
-byte-identical in delivered inboxes and ledger contents.
+out-of-range ids), ``"reference"`` (the pre-fabric per-message loop,
+kept as the equivalence oracle and benchmark baseline), or ``"vector"``
+(the batched engine for explicit exchanges, plus whole-frontier NumPy
+kernels — :mod:`~repro.congest.kernels` — for the round loops of the
+pruned hop-BFS, the k-source BFS, and the pipelined broadcast).  All
+four are byte-identical in delivered inboxes, algorithm outputs, and
+ledger contents.
 """
 
 from __future__ import annotations
@@ -57,7 +61,7 @@ Inbox = Dict[int, List[Tuple[int, object]]]
 DEFAULT_BANDWIDTH_WORDS = 8
 
 #: Recognized fabric engines.
-FABRICS = ("fast", "strict", "reference")
+FABRICS = ("fast", "strict", "reference", "vector")
 
 
 class CongestNetwork:
@@ -81,8 +85,11 @@ class CongestNetwork:
         otherwise.
     fabric:
         Exchange engine: ``"fast"`` (batched, validation deferred),
-        ``"strict"`` (batched, per-message validation), or
-        ``"reference"`` (pre-fabric loop; equivalence baseline).
+        ``"strict"`` (batched, per-message validation), ``"reference"``
+        (pre-fabric loop; equivalence baseline), or ``"vector"``
+        (batched exchanges + whole-frontier array kernels for the
+        kernel-covered primitives; needs NumPy, degrades to the
+        batched path per primitive when a kernel declines a call).
     topology:
         Optional prebuilt :class:`CSRTopology` to share across networks
         of the same graph (skips re-parsing ``edges``).

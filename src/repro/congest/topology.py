@@ -34,6 +34,22 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from .errors import UnknownVertexError
 
 
+def _numpy():
+    """NumPy, imported on first array-view use (kept lazy on purpose).
+
+    The message engines never touch arrays, so the package stays fully
+    importable — and the reference/fast fabrics fully functional — on
+    interpreters without NumPy; only the vector fabric requires it.
+    """
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy is baked in CI
+        raise RuntimeError(
+            "the vector fabric needs NumPy; install it or use "
+            "fabric='fast'") from exc
+    return numpy
+
+
 def _flatten(lists: Sequence[List[int]]) -> Tuple[List[int], List[int]]:
     """CSR-flatten per-vertex lists into (indptr, indices)."""
     indptr = [0] * (len(lists) + 1)
@@ -42,6 +58,50 @@ def _flatten(lists: Sequence[List[int]]) -> Tuple[List[int], List[int]]:
         indices.extend(row)
         indptr[v + 1] = len(indices)
     return indptr, indices
+
+
+class TopologyArrays:
+    """Frozen int-array views of a :class:`CSRTopology` (NumPy int64).
+
+    Built lazily, exactly once per topology, by
+    :meth:`CSRTopology.arrays`; the vector kernels gather over these
+    instead of materializing per-message Python tuples.  ``*_keys``
+    hold the dense edge key ``tail·n + head`` per CSR slot (input
+    order), which is what avoid-edge masks are matched against;
+    ``*_weights`` hold the slot-aligned edge weight so per-run delay
+    step tables vectorize.
+    """
+
+    __slots__ = (
+        "out_indptr", "out_indices", "out_weights", "out_keys",
+        "in_indptr", "in_indices", "in_weights", "in_keys",
+        "nbr_indptr", "nbr_indices", "link_receiver",
+    )
+
+    def __init__(self, topology: "CSRTopology") -> None:
+        np = _numpy()
+        n = topology.n
+        wbk = topology._weight_by_key
+        i64 = np.int64
+        self.out_indptr = np.asarray(topology.out_indptr, dtype=i64)
+        self.out_indices = np.asarray(topology.out_indices, dtype=i64)
+        self.in_indptr = np.asarray(topology.in_indptr, dtype=i64)
+        self.in_indices = np.asarray(topology.in_indices, dtype=i64)
+        self.nbr_indptr = np.asarray(topology.nbr_indptr, dtype=i64)
+        self.nbr_indices = np.asarray(topology.nbr_indices, dtype=i64)
+        self.link_receiver = np.asarray(topology.link_receiver, dtype=i64)
+        out_keys = [u * n + v
+                    for u, row in enumerate(topology.out_lists)
+                    for v in row]
+        in_keys = [x * n + u
+                   for u, row in enumerate(topology.in_lists)
+                   for x in row]
+        self.out_keys = np.asarray(out_keys, dtype=i64)
+        self.in_keys = np.asarray(in_keys, dtype=i64)
+        self.out_weights = np.asarray([wbk[k] for k in out_keys],
+                                      dtype=i64)
+        self.in_weights = np.asarray([wbk[k] for k in in_keys],
+                                     dtype=i64)
 
 
 class CSRTopology:
@@ -63,7 +123,7 @@ class CSRTopology:
         "nbr_indptr", "nbr_indices",
         "out_lists", "in_lists", "nbr_lists",
         "link_receiver", "_link_index", "_weight_by_key",
-        "_edge_order", "_link_pairs",
+        "_edge_order", "_link_pairs", "_arrays",
     )
 
     def __init__(self, n: int, edges: Iterable[Sequence[int]]) -> None:
@@ -126,6 +186,7 @@ class CSRTopology:
         self._weight_by_key = weight_by_key
         self._edge_order = edge_order
         self._link_pairs: Optional[frozenset] = None
+        self._arrays: Optional[TopologyArrays] = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -183,6 +244,78 @@ class CSRTopology:
             self._link_pairs = frozenset(
                 (key // n, key % n) for key in self._link_index)
         return self._link_pairs
+
+    # -- array views (vector fabric) ---------------------------------------
+
+    def arrays(self) -> TopologyArrays:
+        """NumPy int64 views of the frozen CSR (built once, cached).
+
+        Requires NumPy; the message fabrics never call this, so the
+        dependency stays confined to ``fabric="vector"`` executions.
+        """
+        if self._arrays is None:
+            self._arrays = TopologyArrays(self)
+        return self._arrays
+
+    def send_arrays(self, direction: str,
+                    avoid_edges: frozenset = frozenset(),
+                    delay=None):
+        """Array analog of :func:`downstream_step_tables`.
+
+        Returns ``(indptr, indices, steps)`` int64 arrays: the
+        avoid-filtered send adjacency for ``direction`` (``"out"``
+        follows edges, ``"in"`` walks them backward) together with the
+        per-slot exact-hop advance (1 without ``delay``, else
+        ``delay(weight)`` — the G_d subdivision of Section 7).  Built
+        per run, like the list tables: ``avoid_edges`` and ``delay``
+        are fixed for a whole run but vary across runs.
+        """
+        np = _numpy()
+        arr = self.arrays()
+        if direction == "out":
+            indptr, indices = arr.out_indptr, arr.out_indices
+            keys, weights = arr.out_keys, arr.out_weights
+        elif direction == "in":
+            indptr, indices = arr.in_indptr, arr.in_indices
+            keys, weights = arr.in_keys, arr.in_weights
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+        if avoid_edges:
+            n = self.n
+            # Out-of-range pairs cannot name an edge — the message
+            # path's tuple-membership test ignores them — but their
+            # dense keys would collide with real edges' keys, so they
+            # must be dropped before encoding.
+            avoid_keys = [u * n + v for u, v in avoid_edges
+                          if 0 <= u < n and 0 <= v < n]
+            avoid = np.asarray(avoid_keys, dtype=np.int64)
+            keep = ~np.isin(keys, avoid)
+            tails = np.repeat(np.arange(n, dtype=np.int64),
+                              np.diff(indptr))[keep]
+            indices = indices[keep]
+            weights = weights[keep]
+            counts = np.bincount(tails, minlength=n)
+            indptr = np.concatenate(
+                (np.zeros(1, dtype=np.int64),
+                 np.cumsum(counts, dtype=np.int64)))
+        if delay is None:
+            steps = np.ones(len(indices), dtype=np.int64)
+        else:
+            # Delay is an arbitrary Python callable; evaluate it once
+            # per distinct weight so the per-slot table stays exact.
+            uniq, inverse = np.unique(weights, return_inverse=True)
+            per_weight = [int(delay(int(w))) for w in uniq]
+            if any(not (1 <= s < (1 << 62)) for s in per_weight):
+                # Steps this large (or non-positive) would wrap when
+                # added to hop counts in int64; raise the same error a
+                # too-big asarray would, which the kernel dispatchers
+                # catch to fall back to the message path (the oracle
+                # for pathological delay functions).
+                raise OverflowError(
+                    "delay steps outside the vector kernels' range")
+            steps = (np.asarray(per_weight, dtype=np.int64)[inverse]
+                     if uniq.size else np.zeros(0, dtype=np.int64))
+        return indptr, indices, steps
 
 
 def downstream_step_tables(

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..congest import kernels
 from ..congest.network import CongestNetwork
 from ..congest.topology import downstream_step_tables
 
@@ -77,7 +78,11 @@ def pruned_max_hop_bfs(
         ``None`` records every vertex.
     run_full_budget:
         The deterministic algorithm runs all ``hop_limit`` rounds; tests
-        may disable the idle tail for speed.
+        may disable the idle tail for speed.  With ``False``, the loop
+        exits before a round in which nothing is in flight and nothing
+        is scheduled; every round that does start is charged to the
+        ledger (as an exchange or an idle round), so early-exit ledgers
+        agree with full-budget ledgers on their common prefix.
     sense:
         ``"backward"``: walks run from u *to* the seeds, messages travel
         against edge directions (Lemma 4.2).  ``"forward"``: walks run
@@ -103,6 +108,18 @@ def pruned_max_hop_bfs(
         return a[0] > b[0] if prefer_larger else a[0] < b[0]
 
     name = phase if phase is not None else f"hop-bfs(L4.2,{sense})"
+
+    if kernels.hop_bfs_vector_applicable(net, seeds):
+        try:
+            return kernels.pruned_max_hop_bfs_vector(
+                net, seeds, hop_limit, avoid_edges, delay, record_for,
+                name, run_full_budget, sense, select)
+        except OverflowError:
+            # A delay function produced steps beyond int64: nothing has
+            # been charged yet (the send plan is built before the phase
+            # opens), so the message path below runs it instead.
+            pass
+
     record = set(record_for) if record_for is not None else set(
         range(net.n))
 
@@ -128,19 +145,33 @@ def pruned_max_hop_bfs(
                 tables[u][0] = value
         # scheduled[d][u] = best candidate arriving at exact-hop d.
         scheduled: Dict[int, Dict[int, Value]] = {}
+        # One message object per distinct value, shared across senders
+        # and rounds: equal values travel as one tuple, so the batched
+        # fabric's per-round id-keyed size memo collapses the whole
+        # frontier to a single sizing.
+        message_of: Dict[Value, tuple] = {}
 
         for d in range(1, hop_limit + 1):
+            # Quiescence is decided before the round starts: once
+            # nothing is in flight and nothing is scheduled, no further
+            # round executes (and none is charged).  A round that does
+            # start is always charged — as an exchange when messages
+            # move, as an idle round otherwise — so early-exit ledgers
+            # agree with full-budget ledgers on every executed round.
+            if not run_full_budget and not current and not scheduled:
+                break
             outbox: Dict[int, list] = {}
             for u, value in current.items():
                 row = targets[u]
                 if row:
-                    message = ("hopv", value[0], value[1])
+                    message = message_of.get(value)
+                    if message is None:
+                        message = message_of[value] = (
+                            "hopv", value[0], value[1])
                     outbox[u] = [(x, message) for x, _ in row]
             if outbox:
                 inbox = exchange(outbox)
             else:
-                if not run_full_budget and not scheduled:
-                    break
                 net.idle_round()
                 inbox = {}
             # Receivers schedule arrivals for the exact hop at which the

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..congest import kernels
 from ..congest.broadcast import broadcast_messages
 from ..congest.multisource import multi_source_hop_bfs
 from ..congest.network import CongestNetwork
@@ -154,6 +155,15 @@ def compute_landmark_distances(
                      for h in forward_hops[a]] for a in range(k)]
         to_len = [[hops_to_length(h) if h < INF else INF
                    for h in backward_hops[a]] for a in range(k)]
+        # On the vector fabric the min-plus completion runs as int64
+        # matrix sweeps (identical values; this is ledger-free local
+        # computation, so only value equality is at stake).
+        if kernels.vector_enabled(net):
+            from_landmark, to_landmark = (
+                kernels.landmark_completion_vector(
+                    closure, from_len, to_len))
+            return LandmarkDistances(
+                landmarks, closure, from_landmark, to_landmark)
         closure_t = [[closure[mid][a] for mid in range(k)]
                      for a in range(k)]
         from_landmark = [[INF] * n for _ in range(k)]

@@ -42,6 +42,7 @@ def solve_two_sisp(
     landmarks: Optional[Sequence[int]] = None,
     landmark_c: float = 2.0,
     use_oracle_knowledge: bool = False,
+    fabric: str = "fast",
 ) -> TwoSispReport:
     """Solve 2-SiSP: RPaths (Theorem 1) + an O(D) aggregation.
 
@@ -50,11 +51,12 @@ def solve_two_sisp(
     """
     report = solve_rpaths(
         instance, zeta=zeta, seed=seed, landmarks=landmarks,
-        landmark_c=landmark_c, use_oracle_knowledge=use_oracle_knowledge)
+        landmark_c=landmark_c, use_oracle_knowledge=use_oracle_knowledge,
+        fabric=fabric)
     # Re-create the network topology on the same ledger for the final
     # aggregation (solve_rpaths owns its network; the tree rebuild is the
     # O(D) setup the corollary's reduction already pays).
-    net = instance.build_network()
+    net = instance.build_network(fabric=fabric)
     net.ledger = report.ledger
     tree = build_spanning_tree(net, phase="2sisp-tree")
     values = {

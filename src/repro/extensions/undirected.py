@@ -189,6 +189,7 @@ class UndirectedReport:
 
 def solve_rpaths_undirected(
     instance: RPathsInstance,
+    fabric: str = "fast",
 ) -> UndirectedReport:
     """Distributed undirected RPaths in O(T_SSSP + h_st + D) rounds.
 
@@ -200,7 +201,7 @@ def solve_rpaths_undirected(
     require_undirected(instance)
     h = instance.hop_count
     position = {v: i for i, v in enumerate(instance.path)}
-    net = instance.build_network()
+    net = instance.build_network(fabric=fabric)
     tree = build_spanning_tree(net)
 
     with net.ledger.phase("undirected-rpaths"):

@@ -212,7 +212,10 @@ class RPathsInstance:
         The frozen :class:`~repro.congest.topology.CSRTopology` is built
         once per instance and shared by every network (fresh ledgers,
         shared adjacency), so repeated solver runs stop paying graph
-        re-parsing.
+        re-parsing.  ``fabric`` selects the exchange engine (see
+        :data:`~repro.congest.network.FABRICS`); the lazily-built NumPy
+        array views that ``fabric="vector"`` kernels gather over live on
+        the shared topology, so they too are built once per instance.
         """
         if self._topology is None:
             from ..congest.topology import CSRTopology

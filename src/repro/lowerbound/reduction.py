@@ -64,6 +64,7 @@ def decide_disjointness_via_two_sisp(
     seed: int = 0,
     landmarks: Optional[Sequence[int]] = None,
     use_oracle_knowledge: bool = False,
+    fabric: str = "fast",
 ) -> ReductionReport:
     """Run the full Lemma 6.9 pipeline through the CONGEST simulator."""
     matrix = bits_to_matrix(y, k)
@@ -74,7 +75,7 @@ def decide_disjointness_via_two_sisp(
         landmarks = list(range(hard.n))
     result = solve_two_sisp(
         hard.instance, seed=seed, landmarks=landmarks,
-        use_oracle_knowledge=use_oracle_knowledge)
+        use_oracle_knowledge=use_oracle_knowledge, fabric=fabric)
     optimal = expected_optimal_length(k, d, p)
     decided = 0 if result.length == optimal else 1
     return ReductionReport(

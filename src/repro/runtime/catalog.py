@@ -24,6 +24,16 @@ from .registry import scenario
 Params = Dict[str, object]
 
 
+def _fabric(params: Params, default: str = "fast") -> str:
+    """Exchange engine for this cell.
+
+    ``repro suite run --fabric ...`` injects a ``fabric`` key into
+    every cell's parameter point; scenarios thread it through to the
+    solvers so one flag re-runs the whole catalog on another engine.
+    """
+    return str(params.get("fabric", default))
+
+
 # -- exact RPaths (Theorem 1) across topologies ------------------------------
 
 @scenario(
@@ -38,7 +48,8 @@ Params = Dict[str, object]
 def run_exact_random(params: Params, seed: int):
     from ..graphs.generators import random_instance
     inst = random_instance(int(params["n"]), seed=seed)
-    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+    return measure_algorithm(inst, "theorem1", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -54,7 +65,8 @@ def run_exact_chords(params: Params, seed: int):
     from ..graphs.generators import path_with_chords_instance
     inst = path_with_chords_instance(
         int(params["hops"]), seed=seed, overlay_hub=True)
-    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+    return measure_algorithm(inst, "theorem1", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -69,7 +81,8 @@ def run_exact_chords(params: Params, seed: int):
 def run_exact_grid(params: Params, seed: int):
     from ..graphs.generators import grid_instance
     inst = grid_instance(int(params["rows"]), int(params["cols"]))
-    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+    return measure_algorithm(inst, "theorem1", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -85,7 +98,8 @@ def run_exact_layered(params: Params, seed: int):
     from ..graphs.generators import layered_instance
     inst = layered_instance(
         int(params["layers"]), int(params["width"]), seed=seed)
-    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+    return measure_algorithm(inst, "theorem1", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -101,7 +115,8 @@ def run_topo_expander(params: Params, seed: int):
     from ..graphs.generators import expander_instance
     inst = expander_instance(
         int(params["n"]), degree=int(params["degree"]), seed=seed)
-    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+    return measure_algorithm(inst, "theorem1", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -117,7 +132,8 @@ def run_topo_powerlaw(params: Params, seed: int):
     from ..graphs.generators import power_law_instance
     inst = power_law_instance(
         int(params["n"]), attach=int(params["attach"]), seed=seed)
-    return measure_algorithm(inst, "theorem1", seed=seed).metrics()
+    return measure_algorithm(inst, "theorem1", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 # -- approximate RPaths (Theorem 3) sweeps -----------------------------------
@@ -137,7 +153,7 @@ def run_apx_eps_sweep(params: Params, seed: int):
     from ..graphs.generators import random_instance
     inst = random_instance(int(params["n"]), seed=seed, weighted=True)
     return measure_algorithm(
-        inst, "apx", seed=seed,
+        inst, "apx", seed=seed, fabric=_fabric(params),
         epsilon=float(params["epsilon"])).metrics()
 
 
@@ -158,7 +174,8 @@ def run_apx_weight_scale(params: Params, seed: int):
         int(params["n"]), seed=seed, weighted=True,
         max_weight=int(params["max_weight"]))
     return measure_algorithm(
-        inst, "apx", seed=seed, epsilon=0.25).metrics()
+        inst, "apx", seed=seed, epsilon=0.25,
+        fabric=_fabric(params)).metrics()
 
 
 # -- 2-SiSP and the undirected extension -------------------------------------
@@ -179,7 +196,8 @@ def run_two_sisp(params: Params, seed: int):
         inst = double_path_instance(int(params["size"]), extra=2)
     else:
         inst = random_instance(int(params["size"]), seed=seed)
-    return measure_algorithm(inst, "two-sisp", seed=seed).metrics()
+    return measure_algorithm(inst, "two-sisp", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -195,7 +213,8 @@ def run_undirected(params: Params, seed: int):
     from ..extensions.undirected import random_undirected_instance
     inst = random_undirected_instance(
         int(params["n"]), seed=seed, weighted=bool(params["weighted"]))
-    return measure_algorithm(inst, "undirected", seed=seed).metrics()
+    return measure_algorithm(inst, "undirected", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 # -- baselines ----------------------------------------------------------------
@@ -212,7 +231,8 @@ def run_undirected(params: Params, seed: int):
 def run_baseline_mr24(params: Params, seed: int):
     from ..graphs.generators import path_with_chords_instance
     inst = path_with_chords_instance(int(params["hops"]), seed=seed)
-    return measure_algorithm(inst, "mr24b", seed=seed).metrics()
+    return measure_algorithm(inst, "mr24b", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 @scenario(
@@ -227,7 +247,8 @@ def run_baseline_mr24(params: Params, seed: int):
 def run_baseline_trivial(params: Params, seed: int):
     from ..graphs.generators import path_with_chords_instance
     inst = path_with_chords_instance(int(params["hops"]), seed=seed)
-    return measure_algorithm(inst, "trivial", seed=seed).metrics()
+    return measure_algorithm(inst, "trivial", seed=seed,
+                             fabric=_fabric(params)).metrics()
 
 
 # -- lower bound and robustness ----------------------------------------------
@@ -259,7 +280,7 @@ def run_lowerbound_hard(params: Params, seed: int):
     xx = [rng.randint(0, 1) for _ in range(4)]
     yy = [rng.randint(0, 1) for _ in range(4)]
     red = decide_disjointness_via_two_sisp(
-        xx, yy, 2, use_oracle_knowledge=True)
+        xx, yy, 2, use_oracle_knowledge=True, fabric=_fabric(params))
     return {
         "n": hard.n,
         "m": len(hard.instance.edges),
@@ -291,7 +312,7 @@ def run_fault_injection(params: Params, seed: int):
 
     inst = grid_instance(int(params["rows"]), int(params["cols"]))
     meas = measure_algorithm(
-        inst, "theorem1", seed=seed,
+        inst, "theorem1", seed=seed, fabric=_fabric(params),
         landmarks=list(range(inst.n)),
         bandwidth_words=int(params["bandwidth"]))
     metrics = meas.metrics()
@@ -307,3 +328,73 @@ def run_fault_injection(params: Params, seed: int):
     metrics["correct"] = bool(
         metrics["correct"] and metrics["violations"] == 0 and detected)
     return metrics
+
+
+# -- large-n kernel cells (vector fabric) ------------------------------------
+
+@scenario(
+    "scaling-vector",
+    params=[{"n": 2048, "k": 8, "hop_limit": 16}],
+    seeds=[0],
+    smoke_params=[{"n": 192, "k": 4, "hop_limit": 8}],
+    description="Kernel-covered primitives (k-source + pruned hop-BFS) "
+                "on an n=2048 expander — a cell size the vector fabric "
+                "unlocks, oracle-checked against centralized BFS",
+    tags=("scaling", "vector"),
+)
+def run_scaling_vector(params: Params, seed: int):
+    from collections import deque
+
+    from ..congest import INF, multi_source_hop_bfs
+    from ..core.hop_bfs import pruned_max_hop_bfs
+    from ..graphs.generators import expander_instance
+
+    n = int(params["n"])
+    k = int(params["k"])
+    hop_limit = int(params["hop_limit"])
+    inst = expander_instance(n, degree=4, seed=seed)
+    net = inst.build_network(fabric=_fabric(params, default="vector"))
+
+    step = max(1, inst.n // k)
+    sources = list(range(0, inst.n, step))[:k]
+    dist = multi_source_hop_bfs(net, sources, hop_limit)
+    seeds_map = {v: (i, i) for i, v in enumerate(inst.path)}
+    tables = pruned_max_hop_bfs(
+        net, seeds_map, hop_limit=hop_limit,
+        avoid_edges=inst.path_edge_set(), record_for=inst.path)
+
+    # Centralized oracle: hop-bounded BFS per source over the raw
+    # adjacency (cheap next to the simulated execution).
+    adj = inst.adjacency()
+    correct = True
+    for rank, s in enumerate(sources):
+        want = [INF] * inst.n
+        want[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            du = want[u] + 1
+            if du > hop_limit:
+                continue
+            for v, _ in adj[u]:
+                if want[v] >= INF:
+                    want[v] = du
+                    queue.append(v)
+        if dist[rank] != want:
+            correct = False
+            break
+    settled = sum(1 for row in tables.values()
+                  for entry in row if entry is not None)
+    ledger = net.ledger
+    return {
+        "n": inst.n,
+        "m": inst.m,
+        "hop_count": inst.hop_count,
+        "rounds": ledger.rounds,
+        "messages": ledger.messages,
+        "words": ledger.words,
+        "max_link_words": ledger.max_link_words,
+        "violations": ledger.violations,
+        "settled_entries": settled,
+        "correct": bool(correct and settled > len(inst.path)),
+    }

@@ -83,8 +83,22 @@ class SuiteReport:
 def expand_cells(
     names: Optional[Sequence[str]] = None,
     smoke: bool = False,
+    fabric: Optional[str] = None,
 ) -> List[CellSpec]:
-    """All cells of the named scenarios (default: whole catalog)."""
+    """All cells of the named scenarios (default: whole catalog).
+
+    ``fabric`` injects a ``fabric`` key into every cell's parameter
+    point, overriding each scenario's default exchange engine; it
+    becomes part of the cell identity, so results for different
+    fabrics occupy distinct slots in the content-addressed store.
+    ``None`` leaves parameter points (and historical cache keys)
+    untouched.
+    """
+    if fabric is not None:
+        from ..congest.network import FABRICS
+        if fabric not in FABRICS:
+            raise ValueError(
+                f"unknown fabric {fabric!r}; expected one of {FABRICS}")
     if names:
         scenarios = [get_scenario(name) for name in names]
     else:
@@ -92,6 +106,13 @@ def expand_cells(
     specs: List[CellSpec] = []
     for scen in scenarios:
         specs.extend(scen.cells(smoke=smoke))
+    if fabric is not None:
+        specs = [
+            CellSpec.make(spec.scenario,
+                          {**spec.params_dict, "fabric": fabric},
+                          spec.seed)
+            for spec in specs
+        ]
     return specs
 
 
@@ -105,12 +126,18 @@ def run_suite(
     label: str = "suite",
     record: bool = True,
     progress: Optional[Callable[[CellResult], None]] = None,
+    fabric: Optional[str] = None,
 ) -> SuiteReport:
-    """Run (or serve from cache) every cell of the selected scenarios."""
+    """Run (or serve from cache) every cell of the selected scenarios.
+
+    ``fabric`` forces every cell onto one exchange engine (see
+    :func:`expand_cells`); scenarios read it from their parameter
+    point and thread it through to the solvers.
+    """
     start = time.perf_counter()
     store = store if store is not None else ResultStore()
     version = code_version()
-    specs = expand_cells(names, smoke=smoke)
+    specs = expand_cells(names, smoke=smoke, fabric=fabric)
     keys = [cell_key(spec, version) for spec in specs]
 
     results: List[Optional[CellResult]] = [None] * len(specs)

@@ -51,6 +51,34 @@ class TestSolveCommand:
         assert "oracle check: OK" in out
 
 
+class TestSuiteFabricFlag:
+    def test_rejects_unknown_fabric(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["suite", "run", "--fabric", "quantum"])
+
+    def test_run_with_vector_fabric(self, tmp_path, capsys):
+        code = main(["suite", "run", "--smoke", "--jobs", "1",
+                     "--scenario", "exact-grid", "--fabric", "vector",
+                     "--cache-dir", str(tmp_path), "--no-record"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact-grid" in out
+
+    def test_fabric_results_cache_separately(self, tmp_path, capsys):
+        base = ["suite", "run", "--smoke", "--jobs", "1", "--scenario",
+                "exact-grid", "--cache-dir", str(tmp_path),
+                "--no-record"]
+        assert main(base + ["--fabric", "fast"]) == 0
+        capsys.readouterr()
+        # Same fabric again: pure cache hits.  Different fabric: a miss
+        # (the injected fabric key is part of the cell identity).
+        assert main(base + ["--fabric", "fast"]) == 0
+        assert "misses: 0" in capsys.readouterr().out
+        assert main(base + ["--fabric", "vector"]) == 0
+        assert "misses: 1" in capsys.readouterr().out
+
+
 class TestOtherCommands:
     def test_compare(self, capsys):
         code = main(["compare", "--family", "grid", "--n", "20"])

@@ -1,0 +1,291 @@
+"""Vector kernel vs. message engine equivalence (the PR's invariant).
+
+``fabric="vector"`` routes the pruned hop-BFS (Lemma 4.2), the k-source
+hop BFS (Lemma 5.5), and the pipelined broadcast (Lemma 2.4) through
+the NumPy array kernels of :mod:`repro.congest.kernels`.  The message
+engines stay the semantic oracles: for every covered call the kernel
+must produce **bit-identical result tables and ledger accounting**
+(rounds, messages, per-phase word totals, max link words, violations).
+
+Layers of evidence:
+
+* Hypothesis-style randomized fuzz: random graphs x random avoid-edge
+  sets x random delay functions x random mode flags, asserting table
+  and full-ledger equality per trial;
+* end-to-end runs (landmark pipeline, full Theorem 1 solver) on both
+  fabrics;
+* fallback coverage: kernel-declining calls (non-functional aux words,
+  link-total recording, NumPy "absent") silently take the message
+  path with identical results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    broadcast_messages,
+    build_spanning_tree,
+    multi_source_hop_bfs,
+    vector_enabled,
+)
+from repro.congest import kernels
+from repro.congest.metrics import RoundLedger
+from repro.core.hop_bfs import pruned_max_hop_bfs
+from repro.graphs import (
+    expander_instance,
+    power_law_instance,
+    random_instance,
+)
+
+#: (delay-fn or None) choices; weights in the fuzz graphs are 1..5.
+DELAYS = (None, lambda w: w, lambda w: 2 * w - 1, lambda w: min(w, 3))
+
+
+def ledger_snapshot(ledger: RoundLedger):
+    """Everything the ledger records, phase by phase."""
+    return [stats.as_dict() for stats in ledger.phases()]
+
+
+def fuzz_instance(rng: random.Random, trial: int):
+    kind = trial % 3
+    if kind == 0:
+        return random_instance(
+            rng.randint(6, 28), avg_degree=rng.uniform(2.0, 5.0),
+            seed=trial, weighted=bool(trial % 2), max_weight=5)
+    if kind == 1:
+        return expander_instance(rng.randint(12, 24), degree=3,
+                                 seed=trial)
+    return power_law_instance(rng.randint(10, 24), attach=2, seed=trial)
+
+
+def fuzz_avoid(rng: random.Random, instance):
+    choice = rng.randrange(4)
+    if choice == 0:
+        return frozenset()
+    if choice == 1:
+        return instance.path_edge_set()
+    edges = [(u, v) for u, v, _ in instance.edges]
+    picked = rng.sample(edges, rng.randint(0, len(edges) // 2))
+    if choice == 3:
+        # Out-of-range pairs name no edge; both engines must ignore
+        # them (regression: their dense keys must not collide with
+        # real edges in the kernel's send plan).
+        n = instance.n
+        picked.append((rng.randrange(n), n + rng.randrange(2 * n)))
+        picked.append((-1, rng.randrange(n)))
+    return frozenset(picked)
+
+
+class TestPrunedHopBfsFuzz:
+    def test_randomized_equivalence(self):
+        rng = random.Random(20260728)
+        for trial in range(30):
+            instance = fuzz_instance(rng, trial)
+            avoid = fuzz_avoid(rng, instance)
+            delay = rng.choice(DELAYS) if instance.weighted else (
+                rng.choice((None, lambda w: w + 1)))
+            hop = rng.randint(1, 14)
+            sense = rng.choice(("backward", "forward"))
+            select = rng.choice(("max", "min"))
+            full = rng.random() < 0.5
+            record = (None if rng.random() < 0.5
+                      else rng.sample(range(instance.n),
+                                      rng.randint(1, instance.n)))
+            # Aux must be a function of the index (the documented
+            # contract the solvers obey).
+            seeds = {v: (i, 7 * i + 3)
+                     for i, v in enumerate(instance.path)}
+            out = {}
+            for fabric in ("fast", "vector"):
+                net = instance.build_network(fabric=fabric)
+                tables = pruned_max_hop_bfs(
+                    net, seeds, hop, avoid_edges=avoid, delay=delay,
+                    record_for=record, run_full_budget=full,
+                    sense=sense, select=select)
+                out[fabric] = (tables, ledger_snapshot(net.ledger))
+            assert out["vector"] == out["fast"], trial
+
+    def test_non_functional_aux_falls_back_identically(self):
+        # Two seeds share an index with different aux words: the kernel
+        # must decline and the message path must serve the call.
+        instance = random_instance(14, seed=3)
+        seeds = {instance.path[0]: (0, 5), instance.path[1]: (0, 9)}
+        assert not kernels.hop_bfs_vector_applicable(
+            instance.build_network(fabric="vector"), seeds)
+        out = {}
+        for fabric in ("fast", "vector"):
+            net = instance.build_network(fabric=fabric)
+            tables = pruned_max_hop_bfs(net, seeds, 5)
+            out[fabric] = (tables, ledger_snapshot(net.ledger))
+        assert out["vector"] == out["fast"]
+
+    def test_early_exit_records_started_idle_rounds(self):
+        # The run_full_budget=False exit must charge every round that
+        # actually executed — including a trailing idle round that
+        # discovered quiescence — and nothing after it, identically on
+        # both engines.
+        # A directed chain: exact-hop walks die out at hop 3, then one
+        # started idle round discovers quiescence — 4 charged rounds,
+        # not 40 and not 3, on both engines.
+        rounds = {}
+        for fabric in ("fast", "vector"):
+            net = CongestNetwork(4, [(0, 1), (1, 2), (2, 3)],
+                                 fabric=fabric)
+            pruned_max_hop_bfs(net, {3: (0, 0)}, hop_limit=40,
+                               run_full_budget=False)
+            rounds[fabric] = net.ledger.rounds
+        assert rounds["vector"] == rounds["fast"] == 4
+
+
+class TestMultisourceFuzz:
+    def test_randomized_equivalence(self):
+        rng = random.Random(20260729)
+        for trial in range(30):
+            instance = fuzz_instance(rng, trial)
+            avoid = fuzz_avoid(rng, instance)
+            delay = (rng.choice(DELAYS) if instance.weighted
+                     else rng.choice((None, lambda w: w + 2)))
+            hop = rng.randint(1, 14)
+            k = rng.randint(1, min(6, instance.n))
+            sources = rng.sample(range(instance.n), k)
+            direction = rng.choice(("out", "in"))
+            max_rounds = rng.choice((None, None, 3, 10))
+            out = {}
+            for fabric in ("fast", "vector"):
+                net = instance.build_network(fabric=fabric)
+                dist = multi_source_hop_bfs(
+                    net, sources, hop, direction=direction,
+                    avoid_edges=avoid, delay=delay,
+                    max_rounds=max_rounds)
+                out[fabric] = (dist, ledger_snapshot(net.ledger))
+            assert out["vector"] == out["fast"], trial
+
+    def test_empty_sources(self):
+        instance = random_instance(8, seed=0)
+        for fabric in ("fast", "vector"):
+            net = instance.build_network(fabric=fabric)
+            assert multi_source_hop_bfs(net, [], 4) == []
+            assert net.ledger.rounds == 0
+
+
+class TestBroadcastFuzz:
+    def test_randomized_equivalence(self):
+        rng = random.Random(20260730)
+        for trial in range(10):
+            instance = fuzz_instance(rng, trial)
+            messages = {
+                v: [("m", v, i, "x" * rng.randint(1, 12))
+                    for i in range(rng.randint(0, 3))]
+                for v in rng.sample(range(instance.n),
+                                    rng.randint(1, instance.n))
+            }
+            out = {}
+            for fabric in ("fast", "vector"):
+                net = instance.build_network(fabric=fabric)
+                tree = build_spanning_tree(net)
+                received = broadcast_messages(net, tree, messages)
+                out[fabric] = (received, ledger_snapshot(net.ledger))
+            assert out["vector"] == out["fast"], trial
+
+
+class TestEndToEnd:
+    def test_landmark_pipeline_identical(self):
+        from repro.congest.spanning_tree import build_spanning_tree
+        from repro.core.landmark_distances import (
+            compute_landmark_distances,
+        )
+
+        rng = random.Random(5)
+        for trial in range(4):
+            instance = random_instance(20, avg_degree=3.0, seed=trial)
+            landmarks = sorted(rng.sample(range(instance.n), 4))
+            out = {}
+            for fabric in ("fast", "vector"):
+                net = instance.build_network(fabric=fabric)
+                tree = build_spanning_tree(net)
+                dists = compute_landmark_distances(
+                    net, tree, landmarks, hop_limit=6,
+                    avoid_edges=instance.path_edge_set())
+                out[fabric] = (dists.closure, dists.from_landmark,
+                               dists.to_landmark,
+                               ledger_snapshot(net.ledger))
+            assert out["vector"] == out["fast"], trial
+
+    def test_full_solver_identical(self):
+        from repro.core.rpaths import solve_rpaths
+        from repro.graphs import path_with_chords_instance
+
+        summaries = {}
+        for fabric in ("fast", "vector"):
+            instance = path_with_chords_instance(20, seed=4,
+                                                 overlay_hub=True)
+            report = solve_rpaths(instance, seed=7, fabric=fabric)
+            summaries[fabric] = (
+                list(report.lengths), report.rounds,
+                ledger_snapshot(report.ledger))
+        assert summaries["vector"] == summaries["fast"]
+
+
+class TestKernelGating:
+    def test_vector_enabled_only_for_vector_fabric(self):
+        instance = random_instance(10, seed=2)
+        assert vector_enabled(instance.build_network(fabric="vector"))
+        for fabric in ("fast", "strict", "reference"):
+            assert not vector_enabled(
+                instance.build_network(fabric=fabric))
+
+    def test_link_total_recording_disables_kernels(self):
+        instance = random_instance(10, seed=2)
+        net = instance.build_network(fabric="vector")
+        net.record_link_totals = True
+        assert not vector_enabled(net)
+        # The covered primitives must still run (message path) and
+        # populate the per-link totals the cut analysis reads.
+        multi_source_hop_bfs(net, [instance.s], 3)
+        assert net.link_totals
+
+    def test_numpy_absence_degrades_to_message_path(self, monkeypatch):
+        monkeypatch.setattr(kernels, "numpy_or_none", lambda: None)
+        instance = random_instance(12, seed=6)
+        net = instance.build_network(fabric="vector")
+        assert not vector_enabled(net)
+        got = multi_source_hop_bfs(net, [instance.s], 4)
+        ref_net = instance.build_network(fabric="fast")
+        want = multi_source_hop_bfs(ref_net, [instance.s], 4)
+        assert got == want
+        assert (ledger_snapshot(net.ledger)
+                == ledger_snapshot(ref_net.ledger))
+
+    def test_vector_fabric_exchange_matches_fast(self):
+        # Non-kernelized primitives on the vector fabric go through the
+        # batched engine; a direct exchange must behave identically.
+        inboxes = {}
+        for fabric in ("fast", "vector"):
+            net = CongestNetwork(4, [(0, 1), (2, 1), (3, 1)],
+                                 fabric=fabric)
+            inboxes[fabric] = net.exchange({
+                3: [(1, ("c",))],
+                0: [(1, ("a",)), (1, ("b",))],
+                2: [(1, ("d",))],
+            })
+        assert inboxes["vector"] == inboxes["fast"]
+
+    def test_strict_overload_raises_identically(self):
+        from repro.congest import BandwidthExceededError
+
+        details = {}
+        for fabric in ("fast", "vector"):
+            instance = random_instance(10, seed=8)
+            net = instance.build_network(bandwidth_words=2,
+                                         fabric=fabric)
+            net.strict = True
+            with pytest.raises(BandwidthExceededError) as err:
+                multi_source_hop_bfs(net, [instance.s], 4)
+            details[fabric] = (err.value.sender, err.value.receiver,
+                               err.value.words,
+                               ledger_snapshot(net.ledger))
+        assert details["vector"] == details["fast"]
