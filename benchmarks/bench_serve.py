@@ -1,0 +1,335 @@
+"""Serving-tier throughput: precomputed oracle vs. per-query solves.
+
+Three workload families measure what the serving layer buys:
+
+* ``oracle-hit`` — read-only traffic (the instance's own (s, t) pair,
+  failed edge uniform over E) against a built
+  :class:`~repro.serve.oracle.ReplacementPathOracle`.  The baseline is
+  the operational status quo this tier replaces: re-running the full
+  ``solve_rpaths`` pipeline per query.  The ISSUE-level claim — and
+  the absolute CI floor — is a >= 20x queries/sec advantage; in
+  practice the gap is orders of magnitude (one O(1) lookup vs. a full
+  CONGEST execution).
+* ``zipf-batched`` — zipf-skewed arbitrary-pair solve traffic through
+  the :class:`~repro.serve.planner.BatchPlanner` (one k-source
+  vector-fabric solve per failed-edge group), against the unbatched
+  distributed status quo: one single-source fabric BFS per query, no
+  memo.
+* ``adversarial-batched`` — the memo-defeating failed-edge schedule,
+  same baseline; only the k-source grouping amortizes anything here,
+  so this family bounds the tier's worst case.
+
+Every family verifies every answer against the centralized oracle
+before any throughput number is reported — a mismatch exits non-zero
+regardless of speed.
+
+Gate (used by the CI ``serve-smoke`` step)::
+
+    python benchmarks/bench_serve.py --quick \
+        --json BENCH_serve.json \
+        --compare benchmarks/BENCH_serve.json --tolerance 0.25
+
+* ``oracle-hit`` must hold the absolute >= 20x speedup floor;
+* the batched families must not drop below 1x (batching must never
+  lose to the per-query path);
+* any family's speedup more than ``tolerance`` below its committed
+  baseline ratio fails the gate.  Ratios, not absolute queries/sec,
+  are compared: they are stable across runner hardware.  Baselines
+  are mode-stamped (``--quick`` vs. full); comparing across modes
+  enforces only the absolute floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import platform as platform_mod
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.congest import bfs_distances  # noqa: E402
+from repro.core.rpaths import solve_rpaths  # noqa: E402
+from repro.graphs.generators import (  # noqa: E402
+    path_with_chords_instance,
+    random_instance,
+)
+from repro.serve import (  # noqa: E402
+    BatchPlanner,
+    ReplacementPathOracle,
+    generate_workload,
+    hit_ratio,
+    verify_against_centralized,
+)
+
+#: Absolute queries/sec floor for oracle-hit traffic vs. per-query
+#: ``solve_rpaths`` (the ISSUE acceptance criterion).
+MIN_ORACLE_SPEEDUP = 20.0
+ORACLE_FAMILY = "oracle-hit"
+
+#: Batched planning must never lose to the per-query fabric path.
+MIN_BATCH_SPEEDUP = 1.0
+
+
+@contextmanager
+def _quiet_gc():
+    """Keep collector pauses out of the timed regions (same rationale
+    as bench_fabric: pauses land on whichever side is being timed)."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _verify_or_die(name: str, instance, answers) -> None:
+    if not verify_against_centralized([instance], answers):
+        raise AssertionError(
+            f"{name}: serving answers contradict the centralized "
+            "oracle")
+
+
+def measure_oracle_hit(quick: bool) -> Dict[str, object]:
+    """Oracle-hit qps vs. per-query solve_rpaths qps."""
+    hops = 14 if quick else 24
+    queries = 600 if quick else 4000
+    solves = 1 if quick else 2
+    instance = path_with_chords_instance(hops, seed=1,
+                                         overlay_hub=True)
+
+    build_start = time.perf_counter()
+    oracle = ReplacementPathOracle.build(instance, solver="theorem1",
+                                         seed=0)
+    build_time = time.perf_counter() - build_start
+
+    stream = generate_workload("uniform", instance, queries, seed=2)
+    with _quiet_gc():
+        start = time.perf_counter()
+        answers = [oracle.answer(q) for q in stream]
+        serve_time = time.perf_counter() - start
+    _verify_or_die(ORACLE_FAMILY, instance, answers)
+
+    # The status quo: every query re-runs the full pipeline.  A couple
+    # of timed solves pin down the per-query rate.
+    with _quiet_gc():
+        start = time.perf_counter()
+        for i in range(solves):
+            solve_rpaths(instance, seed=i)
+        solve_time = (time.perf_counter() - start) / solves
+
+    qps = queries / serve_time
+    baseline_qps = 1.0 / solve_time
+    return {
+        "n": instance.n,
+        "m": instance.m,
+        "queries": queries,
+        "qps": round(qps, 1),
+        "baseline_qps": round(baseline_qps, 3),
+        "speedup": round(qps / baseline_qps, 1),
+        "hit_ratio": round(hit_ratio(answers), 4),
+        "build_seconds": round(build_time, 4),
+        "build_rounds": oracle.build_rounds,
+    }
+
+
+def measure_batched(kind: str, quick: bool,
+                    repeats: int = 2) -> Dict[str, object]:
+    """Batched planner qps vs. per-query fabric BFS qps.
+
+    Sized so the fabric work dominates fixed per-call overheads: below
+    n ≈ 100 a single-source message BFS is so cheap that the k-source
+    kernel's per-round array costs swamp the grouping win; from
+    n ≈ 128 up the batched path wins and keeps growing with n.
+    """
+    n = 128 if quick else 256
+    queries = 200 if quick else 600
+    instance = random_instance(n, seed=3)
+    stream = generate_workload(kind, instance, queries, seed=4)
+
+    # Best-of-N with fresh state per repeat: the planner's (s, e) memo
+    # must not carry over (it would turn the second repeat into pure
+    # cache hits), and the first vector-kernel call pays one-time
+    # NumPy warmup that should not be charged to the family.
+    batched_time = float("inf")
+    answers, plan = [], None
+    for _ in range(repeats):
+        oracle = ReplacementPathOracle.build(instance,
+                                             solver="centralized")
+        planner = BatchPlanner(oracle, fabric="vector")
+        with _quiet_gc():
+            start = time.perf_counter()
+            answers, plan = planner.answer_batch(stream)
+            batched_time = min(batched_time,
+                               time.perf_counter() - start)
+    _verify_or_die(f"{kind}-batched", instance, answers)
+
+    # Unbatched distributed status quo: one single-source BFS on the
+    # fabric per query, no (s, e) memo, no grouping.
+    unbatched_time = float("inf")
+    for _ in range(repeats):
+        net = instance.build_network(fabric="fast")
+        with _quiet_gc():
+            start = time.perf_counter()
+            for q in stream:
+                bfs_distances(net, q.s,
+                              avoid_edges=frozenset([q.edge]))
+            unbatched_time = min(unbatched_time,
+                                 time.perf_counter() - start)
+
+    qps = queries / batched_time
+    baseline_qps = queries / unbatched_time
+    return {
+        "n": instance.n,
+        "m": instance.m,
+        "queries": queries,
+        "qps": round(qps, 1),
+        "baseline_qps": round(baseline_qps, 1),
+        "speedup": round(qps / baseline_qps, 3),
+        "hit_ratio": round(hit_ratio(answers), 4),
+        "batch_solves": plan.batch_solves,
+        "solves_saved": plan.solves_saved,
+    }
+
+
+def measure_all(quick: bool) -> Dict[str, dict]:
+    return {
+        ORACLE_FAMILY: measure_oracle_hit(quick),
+        "zipf-batched": measure_batched("zipf", quick),
+        "adversarial-batched": measure_batched("adversarial", quick),
+    }
+
+
+def render_report(families: Dict[str, dict]) -> str:
+    from repro.analysis import format_records
+
+    records = [{"family": name, **data}
+               for name, data in families.items()]
+    return format_records(
+        records,
+        ["family", "n", "queries", "qps", "baseline_qps", "speedup",
+         "hit_ratio"],
+        title="serving tier — precomputed oracle / batched planner "
+              "vs. per-query solves",
+    )
+
+
+def environment_info() -> Dict[str, str]:
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is baked in CI
+        numpy_version = "absent"
+    return {
+        "python_version": platform_mod.python_version(),
+        "numpy_version": numpy_version,
+        "platform": platform_mod.platform(),
+    }
+
+
+def check_against_baseline(families: Dict[str, dict], baseline: dict,
+                           tolerance: float,
+                           quick: bool) -> List[str]:
+    """Regression messages (empty when the gate passes)."""
+    problems = []
+    same_mode = bool(baseline.get("quick")) == quick
+    if same_mode:
+        for name, base in baseline.get("families", {}).items():
+            now = families.get(name)
+            if now is None:
+                problems.append(f"{name}: family missing from this "
+                                "run")
+                continue
+            floor = base["speedup"] * (1.0 - tolerance)
+            if now["speedup"] < floor:
+                problems.append(
+                    f"{name}: speedup {now['speedup']:.2f}x fell "
+                    f"below {floor:.2f}x (baseline "
+                    f"{base['speedup']:.2f}x - {tolerance:.0%} "
+                    "tolerance)")
+    oracle = families.get(ORACLE_FAMILY)
+    if oracle is not None and oracle["speedup"] < MIN_ORACLE_SPEEDUP:
+        problems.append(
+            f"{ORACLE_FAMILY}: speedup {oracle['speedup']:.1f}x is "
+            f"below the absolute {MIN_ORACLE_SPEEDUP:.0f}x floor")
+    for name, data in families.items():
+        if name == ORACLE_FAMILY:
+            continue
+        if data["speedup"] < MIN_BATCH_SPEEDUP:
+            problems.append(
+                f"{name}: batched speedup {data['speedup']:.2f}x is "
+                f"below the absolute {MIN_BATCH_SPEEDUP:.1f}x floor")
+    return problems
+
+
+# -- pytest-benchmark entry point --------------------------------------------
+
+
+def bench_serve_tier(benchmark):
+    """Quick-mode serving families (see module doc)."""
+    from _util import report
+
+    families = benchmark.pedantic(lambda: measure_all(quick=True),
+                                  rounds=1, iterations=1)
+    report("serve", render_report(families))
+    assert families[ORACLE_FAMILY]["speedup"] >= MIN_ORACLE_SPEEDUP
+    for name, data in families.items():
+        if name != ORACLE_FAMILY:
+            assert data["speedup"] >= MIN_BATCH_SPEEDUP, (name, data)
+
+
+# -- CLI (CI serve-smoke gate) -----------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--compare", type=pathlib.Path, default=None,
+                        help="committed baseline JSON to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative speedup regression")
+    args = parser.parse_args(argv)
+
+    families = measure_all(quick=args.quick)
+    print(render_report(families))
+
+    payload = {
+        "bench": "serve",
+        "quick": bool(args.quick),
+        "min_oracle_speedup": MIN_ORACLE_SPEEDUP,
+        "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        "tolerance": args.tolerance,
+        "environment": environment_info(),
+        "families": families,
+    }
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        problems = check_against_baseline(
+            families, baseline, args.tolerance, bool(args.quick))
+        if problems:
+            for line in problems:
+                print(f"SERVE REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"serve gate ok (vs {args.compare}, "
+              f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,13 @@ suite
     ``suite run`` executes scenario cells in parallel against the
     content-addressed result cache, ``suite diff`` compares two run
     manifests.
+query
+    Answer one (s, t, failed-edge) replacement-path query from a
+    precomputed oracle (build once, O(1) per hit).
+serve
+    The query-serving tier: ``serve bench`` drives a generated
+    workload through the sharded oracle service and reports
+    queries/sec, hit ratio, and solves saved by batching.
 info
     Print the library version and the experiment index.
 """
@@ -212,6 +219,105 @@ def cmd_suite_diff(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_query(args) -> int:
+    from .serve import ReplacementPathOracle, centralized_truth
+    instance = _build_instance(args)
+    solver = args.solver
+    if instance.weighted and solver == "theorem1":
+        solver = "centralized"  # Theorem 1 targets unweighted graphs
+    oracle = ReplacementPathOracle.build(
+        instance, solver=solver, seed=args.seed)
+    s = instance.s if args.source is None else args.source
+    t = instance.t if args.target is None else args.target
+    if args.edge is not None:
+        edge = (args.edge[0], args.edge[1])
+    else:
+        edge = instance.path_edges()[
+            args.fail_index % instance.hop_count]
+    answer = oracle.query(s, t, edge)
+    print(f"instance {instance.name}: n={instance.n} m={instance.m} "
+          f"h_st={instance.hop_count}")
+    print(f"oracle: solver={solver}, build cost "
+          f"{oracle.build_rounds} rounds (paid once, amortized over "
+          "every query)")
+    print(f"query d({s},{t}) avoiding ({edge[0]},{edge[1]}): "
+          f"{answer.display_length()}  [{answer.kind}]")
+    if args.check:
+        ok = answer.length == centralized_truth(instance, s, t, edge)
+        print(f"oracle check: {'OK' if ok else 'MISMATCH'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    import tempfile
+    import time
+
+    from .graphs.generators import random_instance
+    from .runtime.store import ResultStore
+    from .serve import (
+        ShardedQueryService,
+        generate_workload,
+        hit_ratio,
+        verify_against_centralized,
+    )
+    instances = [
+        random_instance(args.n, seed=args.seed + i)
+        for i in range(args.instances)
+    ]
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    scratch = None
+    if store is None and args.jobs and args.jobs > 1:
+        # Parallel workers rebuild their shards from scratch; without
+        # a spill store the parent's warm() could not reach them and
+        # every timed window would pay full oracle construction.  A
+        # throwaway store keeps the steady-state numbers honest.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        store = ResultStore(scratch.name)
+    kinds = args.workload or ["uniform", "zipf", "adversarial",
+                              "mixed"]
+    rows = []
+    failures = 0
+    for kind in kinds:
+        service = ShardedQueryService(
+            instances, shards=args.shards, capacity=args.capacity,
+            store=store, solver=args.solver, build_seed=args.seed)
+        service.warm()  # steady state: oracles built before the clock
+        queries = []
+        for i, inst in enumerate(instances):
+            queries.extend(generate_workload(
+                kind, inst, args.queries // len(instances),
+                seed=args.seed + 17 * i))
+        start = time.perf_counter()
+        if args.jobs and args.jobs > 1:
+            report = service.serve_parallel(queries, jobs=args.jobs)
+        else:
+            report = service.serve(queries)
+        wall = time.perf_counter() - start
+        correct = verify_against_centralized(instances, report.answers)
+        failures += 0 if correct else 1
+        totals = report.totals()
+        rows.append([
+            kind,
+            report.queries,
+            f"{report.queries / wall:.0f}",
+            f"{hit_ratio(report.answers):.2f}",
+            totals.batch_solves,
+            totals.solves_saved,
+            f"{wall:.2f}s",
+            "OK" if correct else "WRONG",
+        ])
+    print(format_table(
+        ["workload", "queries", "queries/s", "hit ratio",
+         "batch solves", "solves saved", "wall", "correct"],
+        rows,
+        title=f"serve bench: {args.instances} instances (n={args.n}), "
+              f"{args.shards or 'auto'} shards, jobs={args.jobs}"))
+    if scratch is not None:
+        scratch.cleanup()
+    return 0 if failures == 0 else 1
+
+
 def cmd_info(_args) -> int:
     from .runtime import scenario_names
     print(f"repro {__version__} — reproduction of 'Optimal Distributed "
@@ -303,6 +409,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("old", help="baseline run manifest path")
     p_diff.add_argument("new", help="candidate run manifest path")
     p_diff.set_defaults(func=cmd_suite_diff)
+
+    p_query = sub.add_parser(
+        "query", help="answer one replacement-path query from a "
+                      "precomputed oracle")
+    add_instance_args(p_query)
+    p_query.add_argument("--source", type=int, default=None,
+                         help="query source (default: the instance s)")
+    p_query.add_argument("--target", type=int, default=None,
+                         help="query target (default: the instance t)")
+    p_query.add_argument("--edge", type=int, nargs=2, default=None,
+                         metavar=("U", "V"),
+                         help="failed edge (default: --fail-index)")
+    p_query.add_argument("--fail-index", type=int, default=0,
+                         help="fail the i-th edge of P (default 0)")
+    p_query.add_argument("--solver", default="theorem1",
+                         choices=["theorem1", "centralized"],
+                         help="oracle construction solver")
+    p_query.add_argument("--check", action="store_true",
+                         help="verify against the centralized oracle")
+    p_query.set_defaults(func=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="sharded replacement-path query service")
+    serve_sub = p_serve.add_subparsers(dest="serve_command",
+                                       required=True)
+    p_bench = serve_sub.add_parser(
+        "bench", help="drive generated workloads through the service")
+    p_bench.add_argument("--n", type=int, default=48,
+                         help="instance size")
+    p_bench.add_argument("--instances", type=int, default=4,
+                         help="instances in the service catalog")
+    p_bench.add_argument("--queries", type=int, default=400,
+                         help="total queries per workload")
+    p_bench.add_argument("--workload", action="append", default=[],
+                         choices=["uniform", "zipf", "adversarial",
+                                  "mixed"],
+                         help="workload kind (repeatable; default: "
+                              "all four)")
+    p_bench.add_argument("--shards", type=int, default=None,
+                         help="shard count (default: min(CPUs, "
+                              "instances))")
+    p_bench.add_argument("--capacity", type=int, default=4,
+                         help="per-shard hot-oracle LRU capacity")
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for serving "
+                              "(1 = in-process)")
+    p_bench.add_argument("--solver", default="theorem1",
+                         choices=["theorem1", "centralized"],
+                         help="oracle construction solver")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--cache-dir", default=None,
+                         help="spill store root (enables persistent "
+                              "oracle spill)")
+    p_bench.set_defaults(func=cmd_serve_bench)
 
     p_info = sub.add_parser("info", help="version and experiment map")
     p_info.set_defaults(func=cmd_info)

@@ -28,7 +28,7 @@ from .registry import (
     unregister,
 )
 from .results import CellResult, CellSpec
-from .executor import default_jobs, execute_cell, run_cells
+from .executor import default_jobs, execute_cell, pool_map, run_cells
 from .store import (
     DiffReport,
     ResultStore,
@@ -57,6 +57,7 @@ __all__ = [
     "format_suite_report",
     "get_scenario",
     "measure_algorithm",
+    "pool_map",
     "register",
     "run_cells",
     "run_suite",

@@ -5,8 +5,9 @@ as a declarative :class:`~repro.runtime.registry.Scenario`: the exact
 Theorem 1 solver across topologies (including the new expander and
 power-law families), the Theorem 3 (1+eps) sweeps over eps and weight
 scale, 2-SiSP, the undirected extension, the MR24b/trivial baselines,
-the Section 6 lower-bound constructions, and fault injection under a
-strict bandwidth budget.
+the Section 6 lower-bound constructions, fault injection under a
+strict bandwidth budget, and the serving-tier query workloads
+(registered by :mod:`repro.serve.workload`).
 
 Run functions are plain module-level functions taking ``(params, seed)``
 and returning a flat metrics dict, so worker processes can re-import
@@ -398,3 +399,11 @@ def run_scaling_vector(params: Params, seed: int):
         "settled_entries": settled,
         "correct": bool(correct and settled > len(inst.path)),
     }
+
+
+# -- serving-tier workloads ---------------------------------------------------
+# The serve-* scenarios (uniform / zipf / adversarial / mixed query
+# streams against the sharded oracle service) register themselves on
+# import; pulling the module in here keeps the registry the single
+# source of truth for `repro suite list` and worker re-imports.
+from ..serve import workload as _serve_workload  # noqa: E402,F401

@@ -36,6 +36,11 @@ from .results import (
 #: Extra parent-side grace on top of the worker-side alarm.
 _PARENT_GRACE = 10.0
 
+#: Failure kinds reported to :func:`pool_map` fallbacks.
+POOL_TIMEOUT = "timeout"
+POOL_CANCELLED = "cancelled"
+POOL_ERROR = "error"
+
 _HAS_ALARM = hasattr(signal, "SIGALRM")
 
 
@@ -103,6 +108,65 @@ def _worker(args: Tuple[CellSpec, Optional[float]]) -> CellResult:
     return execute_cell(spec, timeout=timeout)
 
 
+def pool_map(
+    worker: Callable,
+    payloads: Sequence,
+    jobs: int,
+    backstop: Optional[float] = None,
+    fallback: Optional[Callable[[object, str, str], object]] = None,
+    progress: Optional[Callable[[object], None]] = None,
+) -> List:
+    """Ordered process-pool map — the machinery under :func:`run_cells`.
+
+    ``worker`` must be a module-level picklable callable; results come
+    back in input order.  ``backstop`` is the parent-side per-item
+    ceiling: when it fires, queued items are cancelled (the running
+    worker itself cannot be).  A failing item is replaced by
+    ``fallback(payload, kind, message)`` with kind one of
+    :data:`POOL_TIMEOUT` / :data:`POOL_CANCELLED` / :data:`POOL_ERROR`;
+    with no fallback the exception propagates.
+
+    The returned list always has ``len(payloads)`` entries, one per
+    payload in order — a worker (or fallback) that returns ``None``
+    keeps its slot.  Other subsystems reuse this for non-cell work
+    (the sharded query service fans shard batches out through it).
+    """
+    results: List[Optional[object]] = [None] * len(payloads)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(worker, payload): idx
+            for idx, payload in enumerate(payloads)
+        }
+        for future, idx in futures.items():
+            try:
+                result = future.result(timeout=backstop)
+            except FutureTimeoutError:
+                # Keep not-yet-started items from piling onto a stuck
+                # pool; the running worker itself cannot be cancelled.
+                pool.shutdown(wait=False, cancel_futures=True)
+                if fallback is None:
+                    raise
+                result = fallback(
+                    payloads[idx], POOL_TIMEOUT,
+                    f"worker exceeded {backstop:.1f}s backstop")
+            except CancelledError:
+                if fallback is None:
+                    raise
+                result = fallback(
+                    payloads[idx], POOL_CANCELLED,
+                    "cancelled after an earlier item exceeded the "
+                    "parent backstop")
+            except Exception as exc:  # noqa: BLE001 - pool failure
+                if fallback is None:
+                    raise
+                result = fallback(payloads[idx], POOL_ERROR,
+                                  f"{type(exc).__name__}: {exc}")
+            if progress is not None:
+                progress(result)
+            results[idx] = result
+    return list(results)
+
+
 def run_cells(
     specs: Sequence[CellSpec],
     jobs: int = 1,
@@ -127,47 +191,25 @@ def run_cells(
             out.append(result)
         return out
 
-    results: List[Optional[CellResult]] = [None] * len(specs)
     backstop = None if timeout is None else timeout + _PARENT_GRACE
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(_worker, (spec, timeout)): idx
-            for idx, spec in enumerate(specs)
-        }
-        for future, idx in futures.items():
-            spec = specs[idx]
-            try:
-                result = future.result(timeout=backstop)
-            except FutureTimeoutError:
-                # Keep not-yet-started cells from piling onto a stuck
-                # pool; the running worker itself cannot be cancelled.
-                pool.shutdown(wait=False, cancel_futures=True)
-                result = CellResult(
-                    scenario=spec.scenario,
-                    params=spec.params_dict,
-                    seed=spec.seed,
-                    status=STATUS_TIMEOUT,
-                    wall_time=backstop or 0.0,
-                    error=f"worker exceeded {backstop:.1f}s backstop",
-                )
-            except CancelledError:
-                result = CellResult(
-                    scenario=spec.scenario,
-                    params=spec.params_dict,
-                    seed=spec.seed,
-                    status=STATUS_ERROR,
-                    error="cancelled after an earlier cell exceeded "
-                          "the parent backstop",
-                )
-            except Exception as exc:  # noqa: BLE001 - pool failure
-                result = CellResult(
-                    scenario=spec.scenario,
-                    params=spec.params_dict,
-                    seed=spec.seed,
-                    status=STATUS_ERROR,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-            if progress is not None:
-                progress(result)
-            results[idx] = result
-    return [r for r in results if r is not None]
+
+    def fallback(payload: Tuple[CellSpec, Optional[float]], kind: str,
+                 message: str) -> CellResult:
+        spec, _ = payload
+        if kind == POOL_CANCELLED:
+            message = ("cancelled after an earlier cell exceeded the "
+                       "parent backstop")
+        return CellResult(
+            scenario=spec.scenario,
+            params=spec.params_dict,
+            seed=spec.seed,
+            status=STATUS_TIMEOUT if kind == POOL_TIMEOUT
+            else STATUS_ERROR,
+            wall_time=(backstop or 0.0) if kind == POOL_TIMEOUT
+            else 0.0,
+            error=message,
+        )
+
+    return pool_map(
+        _worker, [(spec, timeout) for spec in specs], jobs=jobs,
+        backstop=backstop, fallback=fallback, progress=progress)

@@ -1,0 +1,81 @@
+"""repro.serve — the replacement-path query-serving tier.
+
+One CONGEST solve answers *many* queries; this package keeps the
+precomputed answers hot and amortizes everything else:
+
+* :mod:`~repro.serve.queries` — ``Query``/``QueryAnswer`` records and
+  the per-answer cost-class taxonomy.
+* :mod:`~repro.serve.oracle` — ``ReplacementPathOracle``: one
+  ``solve_rpaths`` run becomes an O(1) lookup table for every (s, t,
+  failed-edge) query on the given pair, with memoized centralized
+  fallbacks for arbitrary pairs, and JSON-safe snapshots.
+* :mod:`~repro.serve.planner` — ``BatchPlanner``: groups a query batch
+  by failed edge and spends one k-source vector-fabric solve per
+  group instead of one solve per query.
+* :mod:`~repro.serve.shard` — ``ShardedQueryService``: stable-hash
+  instance sharding, per-shard hot-oracle LRU, persistent spill into
+  the content-addressed result store, and process-parallel serving
+  via the runtime executor's pool machinery.
+* :mod:`~repro.serve.workload` — seedable uniform / zipf /
+  adversarial / mixed query-stream generators, registered as
+  ``serve-*`` suite scenarios.
+
+See DESIGN.md's "Serving layer" section for the full cost model.
+"""
+
+from .oracle import (
+    OracleStats,
+    ReplacementPathOracle,
+    centralized_truth,
+)
+from .planner import BatchPlanner, PlanReport
+from .queries import (
+    BATCHED_SOLVE,
+    FALLBACK_CACHED,
+    FALLBACK_SOLVE,
+    HIT_OFF_PATH,
+    HIT_PATH_EDGE,
+    Query,
+    QueryAnswer,
+    hit_ratio,
+    kind_counts,
+)
+from .shard import (
+    OracleShard,
+    ServiceReport,
+    ShardedQueryService,
+    ShardStats,
+    shard_of,
+    spill_key,
+)
+from .workload import (
+    WORKLOADS,
+    generate_workload,
+    verify_against_centralized,
+)
+
+__all__ = [
+    "BATCHED_SOLVE",
+    "BatchPlanner",
+    "FALLBACK_CACHED",
+    "FALLBACK_SOLVE",
+    "HIT_OFF_PATH",
+    "HIT_PATH_EDGE",
+    "OracleShard",
+    "OracleStats",
+    "PlanReport",
+    "Query",
+    "QueryAnswer",
+    "ReplacementPathOracle",
+    "ServiceReport",
+    "ShardStats",
+    "ShardedQueryService",
+    "WORKLOADS",
+    "centralized_truth",
+    "generate_workload",
+    "verify_against_centralized",
+    "hit_ratio",
+    "kind_counts",
+    "shard_of",
+    "spill_key",
+]

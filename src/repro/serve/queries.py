@@ -1,0 +1,99 @@
+"""Query records shared by every serving-layer component.
+
+A *query* asks for one replacement distance: "what is d(s, t) in
+G \\ {e}?" — the unit of traffic the serving tier amortizes one
+``solve_rpaths`` run across.  For the instance's own (s, t) pair and a
+failed edge on P this is exactly Definition 2.1's |st ⋄ e|; arbitrary
+pairs and off-path edges generalize it to the fallback regime the
+oracle's cost model distinguishes.
+
+Answers carry a *kind* tag naming the price paid:
+
+``hit-path-edge``
+    O(1) lookup into the precomputed |st ⋄ e| table.
+``hit-off-path``
+    O(1): e is not on P, so P itself survives and the answer is |P|.
+``fallback-solve``
+    One centralized SSSP in G \\ {e} from the query source (the oracle
+    memoizes it, so all targets sharing (s, e) pay once).
+``fallback-cached``
+    Served from that (source, edge) memo — no new solve.
+``batched-solve``
+    Answered by the planner's grouped k-source solve (one fabric
+    execution covers every source in the group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..congest.words import INF, is_unreachable
+
+Edge = Tuple[int, int]
+
+#: Answer kinds (the per-query cost classes).
+HIT_PATH_EDGE = "hit-path-edge"
+HIT_OFF_PATH = "hit-off-path"
+FALLBACK_SOLVE = "fallback-solve"
+FALLBACK_CACHED = "fallback-cached"
+BATCHED_SOLVE = "batched-solve"
+
+#: Kinds answered from precomputed state in O(1).
+HIT_KINDS = frozenset({HIT_PATH_EDGE, HIT_OFF_PATH})
+
+
+@dataclass(frozen=True)
+class Query:
+    """One replacement-distance request against one instance.
+
+    ``instance`` is the service-level routing key (the instance name);
+    single-oracle components ignore it.
+    """
+
+    s: int
+    t: int
+    edge: Edge
+    instance: str = ""
+
+    @property
+    def label(self) -> str:
+        u, v = self.edge
+        return f"{self.instance or '?'}:d({self.s},{self.t})\\({u},{v})"
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """The answered query: length (INF sentinel when unreachable) and
+    the cost class that produced it."""
+
+    query: Query
+    length: int
+    kind: str
+
+    @property
+    def reachable(self) -> bool:
+        return not is_unreachable(self.length)
+
+    @property
+    def is_hit(self) -> bool:
+        return self.kind in HIT_KINDS
+
+    def display_length(self) -> str:
+        return "inf" if self.length >= INF else str(self.length)
+
+
+def kind_counts(answers) -> Dict[str, int]:
+    """Histogram of answer kinds (for stats tables and metrics)."""
+    out: Dict[str, int] = {}
+    for answer in answers:
+        out[answer.kind] = out.get(answer.kind, 0) + 1
+    return out
+
+
+def hit_ratio(answers) -> float:
+    """Fraction of answers served from precomputed state (0.0 empty)."""
+    answers = list(answers)
+    if not answers:
+        return 0.0
+    return sum(1 for a in answers if a.is_hit) / len(answers)

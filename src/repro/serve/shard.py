@@ -1,0 +1,433 @@
+"""Sharded serving engine: instances → shards, shards → processes.
+
+The service partitions its catalog of instances across shards by a
+*stable* key hash (SHA-256 of the instance name — ``hash()`` is
+per-process salted and would scatter assignments across workers).  Each
+shard owns:
+
+* an **LRU of hot oracles** (``capacity`` planners, each wrapping a
+  built :class:`~repro.serve.oracle.ReplacementPathOracle` and its
+  fabric network), and
+* a **persistent spill tier**: every freshly built oracle's snapshot is
+  written into the content-addressed
+  :class:`~repro.runtime.store.ResultStore` under
+  ``sha256(serve-oracle, instance key, solver, code version)`` — so an
+  eviction costs nothing (the snapshot is immutable and already on
+  disk), a later miss restores the table without re-solving, and the
+  spill survives the process.  Restores are validated against the
+  instance (wrong path/size ⇒ rebuild) and invalidated automatically
+  when the code version changes, exactly like suite cells.
+
+Serving is batch-first: :meth:`ShardedQueryService.serve` routes a
+query stream to shards and answers each shard's slice through its
+:class:`~repro.serve.planner.BatchPlanner`;
+:meth:`~ShardedQueryService.serve_parallel` fans the per-shard batches
+out over worker processes through the runtime executor's
+:func:`~repro.runtime.executor.pool_map` — the same pool machinery
+``repro suite run`` uses for cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.instance import RPathsInstance
+from ..runtime.executor import default_jobs, pool_map
+from ..runtime.results import CellResult, CellSpec
+from ..runtime.store import ResultStore, cell_key
+from .oracle import ReplacementPathOracle
+from .planner import DEFAULT_MAX_GROUP, BatchPlanner
+from .queries import Query, QueryAnswer, hit_ratio
+
+#: Pseudo-scenario name spilled oracle snapshots are keyed under.
+SPILL_SCENARIO = "serve-oracle"
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Stable shard assignment (identical in every process)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def spill_key(instance_key: str, solver: str) -> str:
+    """Content address of one oracle snapshot (code-versioned)."""
+    return cell_key(CellSpec.make(
+        SPILL_SCENARIO, {"instance": instance_key, "solver": solver}, 0))
+
+
+@dataclass
+class ShardStats:
+    """One shard's serving counters."""
+
+    shard_id: int = 0
+    queries: int = 0
+    oracle_builds: int = 0
+    lru_hits: int = 0
+    evictions: int = 0
+    spill_saves: int = 0
+    spill_loads: int = 0
+    batch_solves: int = 0
+    solves_saved: int = 0
+    rounds: int = 0
+
+    def as_metrics(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "oracle_builds": self.oracle_builds,
+            "lru_hits": self.lru_hits,
+            "evictions": self.evictions,
+            "spill_saves": self.spill_saves,
+            "spill_loads": self.spill_loads,
+            "batch_solves": self.batch_solves,
+            "solves_saved": self.solves_saved,
+            "rounds": self.rounds,
+        }
+
+    def merge(self, other: "ShardStats") -> None:
+        self.queries += other.queries
+        self.oracle_builds += other.oracle_builds
+        self.lru_hits += other.lru_hits
+        self.evictions += other.evictions
+        self.spill_saves += other.spill_saves
+        self.spill_loads += other.spill_loads
+        self.batch_solves += other.batch_solves
+        self.solves_saved += other.solves_saved
+        self.rounds += other.rounds
+
+
+class OracleShard:
+    """One shard: its instances, hot-oracle LRU, and spill store."""
+
+    def __init__(self, shard_id: int = 0, capacity: int = 4,
+                 store: Optional[ResultStore] = None,
+                 solver: str = "theorem1", build_fabric: str = "fast",
+                 planner_fabric: str = "vector",
+                 max_group: int = DEFAULT_MAX_GROUP,
+                 build_seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("shard LRU capacity must be positive")
+        self.shard_id = shard_id
+        self.capacity = capacity
+        self.store = store
+        self.solver = solver
+        self.build_fabric = build_fabric
+        self.planner_fabric = planner_fabric
+        self.max_group = max_group
+        self.build_seed = build_seed
+        self.instances: Dict[str, RPathsInstance] = {}
+        self._planners: "OrderedDict[str, BatchPlanner]" = OrderedDict()
+        self.stats = ShardStats(shard_id=shard_id)
+
+    # -- catalog -------------------------------------------------------------
+
+    def add_instance(self, instance: RPathsInstance,
+                     key: Optional[str] = None) -> str:
+        key = key or instance.name
+        if not key:
+            raise ValueError("instance needs a non-empty key/name")
+        if key in self.instances:
+            raise ValueError(f"duplicate instance key {key!r}")
+        self.instances[key] = instance
+        return key
+
+    # -- oracle lifecycle ----------------------------------------------------
+
+    def _load_spilled(self, key: str,
+                      instance: RPathsInstance,
+                      ) -> Optional[ReplacementPathOracle]:
+        if self.store is None:
+            return None
+        cached = self.store.get(spill_key(key, self.solver))
+        if cached is None:
+            return None
+        oracle = ReplacementPathOracle.from_snapshot(
+            instance, cached.metrics)
+        if oracle is not None:
+            self.stats.spill_loads += 1
+        return oracle
+
+    def _spill(self, key: str, oracle: ReplacementPathOracle) -> None:
+        if self.store is None:
+            return
+        result = CellResult(
+            scenario=SPILL_SCENARIO,
+            params={"instance": key, "solver": self.solver},
+            seed=0,
+            key=spill_key(key, self.solver),
+            metrics=oracle.snapshot(),
+        )
+        self.store.put(result)
+        self.stats.spill_saves += 1
+
+    def planner_for(self, key: str) -> BatchPlanner:
+        """The hot planner for ``key`` (LRU → spill → build)."""
+        planner = self._planners.get(key)
+        if planner is not None:
+            self._planners.move_to_end(key)
+            self.stats.lru_hits += 1
+            return planner
+        try:
+            instance = self.instances[key]
+        except KeyError:
+            known = ", ".join(sorted(self.instances)) or "<none>"
+            raise KeyError(f"shard {self.shard_id} does not hold "
+                           f"{key!r}; instances: {known}") from None
+        oracle = self._load_spilled(key, instance)
+        if oracle is None:
+            oracle = ReplacementPathOracle.build(
+                instance, solver=self.solver, seed=self.build_seed,
+                fabric=self.build_fabric)
+            self.stats.oracle_builds += 1
+            self.stats.rounds += oracle.build_rounds
+            # Spill at build time: the snapshot is immutable, so the
+            # later eviction is free and crash-safe.
+            self._spill(key, oracle)
+        planner = BatchPlanner(oracle, fabric=self.planner_fabric,
+                               max_group=self.max_group)
+        self._planners[key] = planner
+        while len(self._planners) > self.capacity:
+            self._planners.popitem(last=False)
+            self.stats.evictions += 1
+        return planner
+
+    def oracle_for(self, key: str) -> ReplacementPathOracle:
+        return self.planner_for(key).oracle
+
+    def warm(self) -> None:
+        """Build (or spill-load) the shard's oracles up front.
+
+        With a spill store, every instance is warmed: builds beyond
+        the LRU capacity still land their snapshot on disk, so later
+        misses restore instead of re-solving.  Without one, only the
+        first ``capacity`` keys are built — warming more would run
+        full solves whose results the LRU immediately discards.
+        """
+        keys = sorted(self.instances)
+        if self.store is None:
+            keys = keys[:self.capacity]
+        for key in keys:
+            self.planner_for(key)
+
+    # -- serving -------------------------------------------------------------
+
+    def answer_batch(self, queries: Sequence[Query]) -> List[QueryAnswer]:
+        """Answer this shard's slice, batch-planned per instance."""
+        by_key: "OrderedDict[str, List[int]]" = OrderedDict()
+        for idx, q in enumerate(queries):
+            by_key.setdefault(q.instance, []).append(idx)
+        answers: List[Optional[QueryAnswer]] = [None] * len(queries)
+        for key, indices in by_key.items():
+            planner = self.planner_for(key)
+            batch, report = planner.answer_batch(
+                [queries[i] for i in indices])
+            for i, answer in zip(indices, batch):
+                answers[i] = answer
+            self.stats.batch_solves += report.batch_solves
+            self.stats.solves_saved += report.solves_saved
+            self.stats.rounds += report.rounds
+        self.stats.queries += len(queries)
+        return [a for a in answers if a is not None]
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of one serve invocation.
+
+    In-process serving reports the shards' *lifetime* counters (shards
+    are long-lived, like real serving processes);
+    :meth:`ShardedQueryService.serve_parallel` workers are rebuilt per
+    invocation, so their stats cover exactly that invocation.
+    """
+
+    answers: List[QueryAnswer]
+    shard_stats: List[ShardStats] = field(default_factory=list)
+    jobs: int = 1
+
+    @property
+    def queries(self) -> int:
+        return len(self.answers)
+
+    @property
+    def hit_ratio(self) -> float:
+        return hit_ratio(self.answers)
+
+    def totals(self) -> ShardStats:
+        total = ShardStats(shard_id=-1)
+        for stats in self.shard_stats:
+            total.merge(stats)
+        return total
+
+    def as_metrics(self) -> Dict[str, object]:
+        out: Dict[str, object] = dict(self.totals().as_metrics())
+        out["hit_ratio"] = round(self.hit_ratio, 4)
+        out["shards"] = len(self.shard_stats)
+        return out
+
+
+class ShardedQueryService:
+    """Route replacement-path queries across oracle shards."""
+
+    def __init__(self, instances: Sequence[RPathsInstance],
+                 shards: Optional[int] = None, capacity: int = 4,
+                 store: Optional[ResultStore] = None,
+                 solver: str = "theorem1", build_fabric: str = "fast",
+                 planner_fabric: str = "vector",
+                 max_group: int = DEFAULT_MAX_GROUP,
+                 build_seed: int = 0) -> None:
+        instances = list(instances)
+        if not instances:
+            raise ValueError("service needs at least one instance")
+        if shards is None:
+            shards = min(default_jobs(), len(instances))
+        if shards < 1:
+            raise ValueError("shard count must be positive")
+        self.store = store
+        self._shards = [
+            OracleShard(shard_id=i, capacity=capacity, store=store,
+                        solver=solver, build_fabric=build_fabric,
+                        planner_fabric=planner_fabric,
+                        max_group=max_group, build_seed=build_seed)
+            for i in range(shards)
+        ]
+        self._route: Dict[str, int] = {}
+        for inst in instances:
+            if not inst.name:
+                raise ValueError("every served instance needs a name")
+            if inst.name in self._route:
+                raise ValueError(
+                    f"duplicate instance name {inst.name!r}")
+            sid = shard_of(inst.name, shards)
+            self._shards[sid].add_instance(inst)
+            self._route[inst.name] = sid
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def warm(self) -> None:
+        """Pre-build every shard's oracles (steady-state serving)."""
+        for shard in self._shards:
+            shard.warm()
+
+    @property
+    def instance_keys(self) -> List[str]:
+        return sorted(self._route)
+
+    def shard_for(self, instance_key: str) -> OracleShard:
+        try:
+            return self._shards[self._route[instance_key]]
+        except KeyError:
+            known = ", ".join(sorted(self._route))
+            raise KeyError(f"unknown instance {instance_key!r}; "
+                           f"served: {known}") from None
+
+    def query(self, instance_key: str, s: int, t: int,
+              edge: Tuple[int, int]) -> QueryAnswer:
+        """One-off query (still batch-planned, batch of one)."""
+        [answer] = self.shard_for(instance_key).answer_batch(
+            [Query(s=s, t=t, edge=edge, instance=instance_key)])
+        return answer
+
+    def _partition(self, queries: Sequence[Query],
+                   ) -> Dict[int, List[int]]:
+        parts: Dict[int, List[int]] = {}
+        for idx, q in enumerate(queries):
+            if q.instance not in self._route:
+                known = ", ".join(sorted(self._route))
+                raise KeyError(f"unknown instance {q.instance!r}; "
+                               f"served: {known}")
+            parts.setdefault(self._route[q.instance], []).append(idx)
+        return parts
+
+    def serve(self, queries: Sequence[Query]) -> ServiceReport:
+        """Answer a query stream in-process, shard by shard."""
+        answers: List[Optional[QueryAnswer]] = [None] * len(queries)
+        for sid, indices in sorted(self._partition(queries).items()):
+            batch = self._shards[sid].answer_batch(
+                [queries[i] for i in indices])
+            for i, answer in zip(indices, batch):
+                answers[i] = answer
+        return ServiceReport(
+            answers=[a for a in answers if a is not None],
+            shard_stats=[s.stats for s in self._shards],
+            jobs=1)
+
+    def serve_parallel(self, queries: Sequence[Query],
+                       jobs: Optional[int] = None) -> ServiceReport:
+        """Answer a query stream with one worker process per shard.
+
+        Workers rebuild their shard from the picklable instance data,
+        share the spill store (content-addressed, atomic writes), and
+        return plain ``(lengths, kinds, stats)`` tuples; parent-side
+        oracle state is not touched.  Requires a ``store`` when warm
+        oracles should carry over between invocations.
+        """
+        parts = sorted(self._partition(queries).items())
+        if jobs is None:
+            jobs = default_jobs()
+        jobs = max(1, min(jobs, len(parts) or 1))
+        if jobs <= 1 or len(parts) <= 1:
+            report = self.serve(queries)
+            report.jobs = 1
+            return report
+        payloads = []
+        for sid, indices in parts:
+            shard = self._shards[sid]
+            payloads.append({
+                "shard_id": sid,
+                "capacity": shard.capacity,
+                "solver": shard.solver,
+                "build_fabric": shard.build_fabric,
+                "planner_fabric": shard.planner_fabric,
+                "max_group": shard.max_group,
+                "build_seed": shard.build_seed,
+                "store_root": (None if self.store is None
+                               else str(self.store.root)),
+                "instances": [
+                    _portable_instance(inst)
+                    for inst in shard.instances.values()
+                ],
+                "queries": [queries[i] for i in indices],
+            })
+        outcomes = pool_map(_shard_worker, payloads, jobs=jobs)
+        answers: List[Optional[QueryAnswer]] = [None] * len(queries)
+        shard_stats: List[ShardStats] = []
+        for (sid, indices), (lengths, kinds, stats) in zip(
+                parts, outcomes):
+            for i, length, kind in zip(indices, lengths, kinds):
+                answers[i] = QueryAnswer(queries[i], length, kind)
+            shard_stats.append(ShardStats(shard_id=sid, **stats))
+        return ServiceReport(
+            answers=[a for a in answers if a is not None],
+            shard_stats=shard_stats, jobs=jobs)
+
+
+def _portable_instance(instance: RPathsInstance) -> RPathsInstance:
+    """A cache-free copy that pickles small (no CSR/NumPy state)."""
+    return RPathsInstance(
+        n=instance.n, edges=list(instance.edges),
+        path=list(instance.path), weighted=instance.weighted,
+        name=instance.name)
+
+
+def _shard_worker(payload: Dict[str, object]):
+    """Rebuild one shard in the worker and answer its slice."""
+    store_root = payload["store_root"]
+    shard = OracleShard(
+        shard_id=int(payload["shard_id"]),
+        capacity=int(payload["capacity"]),
+        store=None if store_root is None else ResultStore(store_root),
+        solver=str(payload["solver"]),
+        build_fabric=str(payload["build_fabric"]),
+        planner_fabric=str(payload["planner_fabric"]),
+        max_group=int(payload["max_group"]),
+        build_seed=int(payload["build_seed"]))
+    for inst in payload["instances"]:
+        shard.add_instance(inst)
+    answers = shard.answer_batch(payload["queries"])
+    stats = shard.stats.as_metrics()
+    return ([a.length for a in answers], [a.kind for a in answers],
+            stats)
