@@ -38,7 +38,11 @@ from .topology import CSRTopology
 from .words import INF, clamp_inf, is_unreachable, words_of
 from .bfs import bfs_distances, bfs_tree, sssp_distances_weighted
 from .multisource import multi_source_hop_bfs
-from .spanning_tree import SpanningTree, build_spanning_tree
+from .spanning_tree import (
+    SpanningTree,
+    build_spanning_tree,
+    replay_spanning_tree_charges,
+)
 from .broadcast import (
     broadcast_messages,
     broadcast_value,
@@ -77,6 +81,7 @@ __all__ = [
     "global_min",
     "is_unreachable",
     "multi_source_hop_bfs",
+    "replay_spanning_tree_charges",
     "run_path_sweeps",
     "sssp_distances_weighted",
     "vector_enabled",

@@ -1,41 +1,53 @@
 """NumPy array kernels: whole-frontier CONGEST rounds without messages.
 
-``fabric="vector"`` keeps the batched exchange engine for every
-primitive these kernels do not cover, but routes the round loops that
-dominate the post-PR-2 profile — the pruned hop-BFS of Lemma 4.2, the
-k-source hop BFS of Lemma 5.5, and the pipelined tree broadcast of
-Lemma 2.4 — through whole-frontier computation over the frozen CSR
+``fabric="vector"`` keeps the batched exchange engine for explicit
+``exchange`` calls, but routes **every round loop of the Theorem 1
+solver** through whole-structure computation over the frozen CSR
 arrays (:meth:`~repro.congest.topology.CSRTopology.arrays` /
-:meth:`~repro.congest.topology.CSRTopology.send_arrays`): one
-synchronous round becomes a handful of vectorized operations (frontier
-gathers via CSR range expansion, delay-shifted scheduling buckets,
-segmented max/min via ``np.maximum.at``/``np.minimum.at``) instead of
-one Python tuple per (sender, target) pair.
+:meth:`~repro.congest.topology.CSRTopology.send_arrays`): the pruned
+hop-BFS of Lemma 4.2, the k-source hop BFS of Lemma 5.5, the
+pipelined tree broadcast of Lemma 2.4 (per-item, plus a schedule-free
+uniform-size path), the Lemma 2.5 path-chain flood, the descending
+ζ-round DP pipeline of Lemma 4.4, the segment prefix/suffix sweeps of
+Lemmas 5.7/5.9 and their one-hop shift, and the BFS spanning-tree
+flood.  One synchronous round becomes a handful of vectorized
+operations (frontier gathers via CSR range expansion, delay-shifted
+scheduling buckets, segmented max/min via
+``np.maximum.at``/``np.minimum.at``) instead of one Python tuple per
+(sender, target) pair — and closed-form schedules (chain gaps, DP
+rounds, disjoint sweep groups, uniform broadcasts) charge whole
+executions in bulk via
+:meth:`~repro.congest.metrics.RoundLedger.charge_rounds` without
+walking rounds at all.
 
-The contract, asserted by ``tests/test_kernel_equivalence.py``, is
-**bit-identical observables**: the kernels return exactly the result
-tables the message engines return, and charge the
+The contract, asserted by ``tests/test_kernel_equivalence.py`` and
+``tests/test_solver_equivalence.py``, is **bit-identical
+observables**: the kernels return exactly the result tables the
+message engines return, and charge the
 :class:`~repro.congest.metrics.RoundLedger` exactly the same per-phase
 rounds, message counts, word totals, per-link maxima, and violation
 counts.  The message engines stay the semantic oracles; a kernel that
 cannot guarantee parity for a given call (non-functional auxiliary
 words, ``record_link_totals`` cut analysis, NumPy absent, key-encoding
-overflow) must decline via its ``*_applicable`` predicate so the
-dispatchers in :mod:`repro.core.hop_bfs`,
-:mod:`repro.congest.multisource`, and :mod:`repro.congest.broadcast`
-fall back to the message path.
+overflow, non-declarative sweep tasks) must decline via its
+``*_applicable`` predicate so the dispatchers in
+:mod:`repro.core.hop_bfs`, :mod:`repro.congest.multisource`,
+:mod:`repro.congest.broadcast`, :mod:`repro.congest.pipeline`,
+:mod:`repro.congest.spanning_tree`, and the :mod:`repro.core` phase
+drivers fall back to the message path.
 
 NumPy is imported lazily (module import never touches it), so the
 message engines remain importable — and fully functional — without it.
 
-Ledger parity leans on one structural invariant of the BFS kernels:
-in any round, each directed link carries at most one message, and all
-messages of the round have the same word size.  The per-round charge
-is therefore ``(M messages, M·size words, max_link = size,
+Ledger parity leans on one structural invariant of the round-loop
+kernels: in any round, each directed link carries at most one message,
+and all messages of the round have the same word size.  The per-round
+charge is therefore ``(M messages, M·size words, max_link = size,
 violations = M·[size > bandwidth])`` — exactly what
 :func:`~repro.congest.fastpath.exchange_batch` computes message by
-message.  The broadcast kernel charges per-item sizes the same way the
-per-link FIFO engine does.
+message — and aggregating it over a whole schedule is exact because
+phase stats only ever hold aggregates.  The per-item broadcast kernel
+charges per-item sizes the same way the per-link FIFO engine does.
 """
 
 from __future__ import annotations
@@ -98,6 +110,37 @@ def _expand_ranges(np, starts, counts, total: int):
          np.cumsum(counts, dtype=np.int64)[:-1]))
     return np.repeat(starts - shifts, counts) + np.arange(
         total, dtype=np.int64)
+
+
+def charge_uniform_rounds(net, rounds: int, messages: int, size: int,
+                          senders: Sequence[int],
+                          targets: Sequence[int]) -> None:
+    """Bulk-charge a whole schedule of equal-size, distinct-link rounds.
+
+    ``messages`` is the total over all ``rounds``; every message has
+    ``size`` words and rides a link of its own, so the aggregate charge
+    (``rounds`` rounds, ``messages·size`` words, per-round link max of
+    ``size``, one violation per oversized message) is exactly what
+    per-round :func:`~repro.congest.fastpath.exchange_batch` calls
+    would accumulate.  Under strict mode an oversized message aborts
+    the schedule inside its first round, exactly like the message
+    engines: the first round is charged alone and the same
+    first-overload error raised over the round-1 ``(sender, target)``
+    pairs (the callers pass exactly the links of round 1).
+    """
+    if rounds <= 0:
+        return
+    ledger = net.ledger
+    if messages and size > net.bandwidth_words:
+        if net.strict:
+            first = len(senders)
+            ledger.charge_round(first, first * size, size, first)
+            _raise_first_overload(net, senders, targets, size)
+        ledger.charge_rounds(rounds, messages, messages * size, size,
+                             messages)
+    else:
+        ledger.charge_rounds(rounds, messages, messages * size,
+                             size if messages else 0, 0)
 
 
 def _charge_uniform_round(net, messages: int, size: int) -> None:
@@ -424,6 +467,60 @@ def broadcast_vector_applicable(net) -> bool:
     return vector_enabled(net)
 
 
+def _uniform_broadcast_schedule(net, tree, item_counts: List[int],
+                                count: int, size: int) -> None:
+    """Charge the whole FIFO broadcast schedule without routing items.
+
+    When every item has the same word size, the ledger charge is fully
+    determined by the *queue-length* dynamics: each active directed
+    tree link pops exactly one item per round (``size`` words, its own
+    link), so a round charges ``(a, a·size, size, a·[size > B])`` for
+    ``a`` active links — no item identity needed.  The queue lengths
+    themselves evolve by local conservation (one pop per active link;
+    each delivery to ``v`` feeds every link out of ``v`` except the
+    reverse one), which this helper iterates as whole-array updates:
+    O(rounds) NumPy steps instead of O(items · links) Python steps.
+
+    Total crossings are conserved — every item crosses every undirected
+    tree link exactly once — which the final assertion double-checks
+    before the bulk charge.
+    """
+    np = numpy_or_none()
+    n = net.n
+    nonroot = [v for v in range(n) if v != tree.root]
+    if not nonroot or count == 0:
+        return
+    nr = np.asarray(nonroot, dtype=np.int64)
+    par = np.asarray(tree.parent, dtype=np.int64)[nr]
+    links = 2 * nr.size
+    tail = np.empty(links, dtype=np.int64)
+    head = np.empty(links, dtype=np.int64)
+    tail[0::2] = nr
+    head[0::2] = par
+    tail[1::2] = par
+    head[1::2] = nr
+    rev = np.arange(links, dtype=np.int64)
+    rev[0::2] += 1
+    rev[1::2] -= 1
+    counts_v = np.asarray(item_counts, dtype=np.int64)
+    # Every origin pushes all of its items onto each of its tree links.
+    queue = counts_v[tail].copy()
+    rounds = 0
+    total = 0
+    while True:
+        active = queue > 0
+        moved = int(active.sum())
+        if not moved:
+            break
+        rounds += 1
+        total += moved
+        delivered = np.bincount(head[active], minlength=n)
+        queue += delivered[tail] - active[rev] - active
+    assert total == count * (n - 1), "broadcast schedule lost items"
+    violations = total if size > net.bandwidth_words else 0
+    net.ledger.charge_rounds(rounds, total, total * size, size, violations)
+
+
 def broadcast_messages_vector(net, tree, messages, name: str):
     """Frontier-batched rounds of the pipelined broadcast (Lemma 2.4).
 
@@ -435,13 +532,36 @@ def broadcast_messages_vector(net, tree, messages, name: str):
     receiver-major sender-ascending order the exchange engines
     guarantee — which is what makes the queue states, and therefore the
     ledgers, bit-identical.
+
+    Uniform-size batches (the Lemma 5.4 pair broadcast, the Lemma 5.8
+    segment summaries) skip the per-item queues entirely: the result is
+    schedule-independent (``sorted(all_messages)``) and the ledger
+    charge reduces to the queue-length dynamics, handled whole-array by
+    :func:`_uniform_broadcast_schedule`.  Mixed sizes — and strict-mode
+    overloads, which must abort mid-schedule with the exact first
+    offender — keep the per-item path.
     """
     n = net.n
     bandwidth = net.bandwidth_words
     strict = net.strict
-    tree_nbrs = [tree.tree_neighbors(v) for v in range(n)]
 
     with net.ledger.phase(name):
+        all_messages: List[Tuple[int, Tuple]] = []
+        sizes: List[int] = []
+        item_counts = [0] * n
+        for origin in sorted(messages):
+            for payload in messages[origin]:
+                item = (origin, payload)
+                all_messages.append(item)
+                sizes.append(words_of(item))
+                item_counts[origin] += 1
+        if sizes and min(sizes) == max(sizes) and not (
+                strict and sizes[0] > bandwidth):
+            _uniform_broadcast_schedule(net, tree, item_counts,
+                                        len(all_messages), sizes[0])
+            return sorted(all_messages)
+
+        tree_nbrs = [tree.tree_neighbors(v) for v in range(n)]
         queues: Dict[Tuple[int, int], deque] = {}
         for v in range(n):
             for u in tree_nbrs[v]:
@@ -454,16 +574,9 @@ def broadcast_messages_vector(net, tree, messages, name: str):
                 active.append(link)
             queue.append(item_id)
 
-        all_messages: List[Tuple[int, Tuple]] = []
-        sizes: List[int] = []
-        for origin in sorted(messages):
-            for payload in messages[origin]:
-                item = (origin, payload)
-                item_id = len(all_messages)
-                all_messages.append(item)
-                sizes.append(words_of(item))
-                for u in tree_nbrs[origin]:
-                    push((origin, u), item_id)
+        for item_id, (origin, _) in enumerate(all_messages):
+            for u in tree_nbrs[origin]:
+                push((origin, u), item_id)
 
         while active:
             total_words = 0
@@ -530,3 +643,287 @@ def landmark_completion_vector(closure, from_len, to_len):
         from_out.append(np.where(best_f >= INF, INF, best_f).tolist())
         to_out.append(np.where(best_t >= INF, INF, best_t).tolist())
     return from_out, to_out
+
+
+def pairwise_min_sum_vector(m_rows, n_rows) -> List[int]:
+    """``out[i] = clamp_inf(min_j m_rows[j][i] + n_rows[j][i])``.
+
+    The Proposition 5.1 finish (ledger-free local computation); operands
+    are clamped at INF = 2^60, so int64 sums are exact.
+    """
+    np = numpy_or_none()
+    best = (np.asarray(m_rows, dtype=np.int64)
+            + np.asarray(n_rows, dtype=np.int64)).min(axis=0)
+    return np.where(best >= INF, INF, best).tolist()
+
+
+# -- Lemma 2.5 path-chain flood ----------------------------------------------
+
+#: Wire size of the chain tokens: ("chain", origin, hops, dist).
+CHAIN_MESSAGE_WORDS = words_of(("chain", 0, 0, 0))
+
+#: Wire size of the Lemma 5.9 shift tokens: ("Nshift", j, value).
+N_SHIFT_MESSAGE_WORDS = words_of(("Nshift", 0, 0))
+
+
+def chain_flood_vector_applicable(net, prefix: Sequence[int]) -> bool:
+    """Can the Lemma 2.5 rightward flood run schedule-free?
+
+    ``prefix`` are the path prefix weights; every token value is a
+    difference of two of them, so one magnitude check covers the lot.
+    """
+    return vector_enabled(net) and _fits_int64(prefix[-1])
+
+
+def chain_flood_vector(
+    net,
+    path: Sequence[int],
+    sampled: Sequence[int],
+    prefix: Sequence[int],
+) -> Dict[int, tuple]:
+    """The Lemma 2.5 step-2 flood, computed from gap arithmetic.
+
+    Charges within the caller's open phase (``knowledge(L2.5)``), like
+    the inline round loop it replaces.  Tokens advance in lockstep, one
+    per path link, so round ``r`` carries one ``CHAIN_MESSAGE_WORDS``
+    message per sampled gap of length ≥ r; the records every position
+    learns are pure prefix-weight differences.  Sampled positions are
+    O(√n) w.h.p., so this is cheap scalar arithmetic — the point is
+    skipping the O(max gap) per-token exchange rounds, not NumPy.
+    """
+    gaps = [b - a for a, b in zip(sampled, sampled[1:])]
+    rounds = max(gaps, default=0)
+    total = sum(gaps)
+    senders = [path[a] for a in sampled[:-1]]
+    targets = [path[a + 1] for a in sampled[:-1]]
+    charge_uniform_rounds(net, rounds, total, CHAIN_MESSAGE_WORDS,
+                           senders, targets)
+    from_left: Dict[int, tuple] = {}
+    for a, b in zip(sampled, sampled[1:]):
+        origin = path[a]
+        base = prefix[a]
+        for pos in range(a + 1, b + 1):
+            from_left[pos] = (origin, pos - a, prefix[pos] - base)
+    return from_left
+
+
+# -- Lemma 4.4 descending DP pipeline (Prop 4.1 Stage 3) ---------------------
+
+#: Wire size of the Stage-3 tokens: ("dp", X value).
+DP_MESSAGE_WORDS = words_of(("dp", 0))
+
+
+def dp_sweep_vector_applicable(net, zeta: int) -> bool:
+    """Stage-3 kernel gate; X values are ints bounded by INF by
+    construction (Lemma 4.3), so only the fabric gate matters."""
+    return vector_enabled(net) and 0 <= zeta < _INT64_SAFE
+
+
+def dp_sweep_vector(
+    net,
+    path: Sequence[int],
+    x_geq: Sequence[Dict[int, int]],
+    hop_count: int,
+    zeta: int,
+    name: str,
+) -> List[int]:
+    """The ζ−1 descending rounds of Lemma 4.4 as array shifts.
+
+    Every round moves exactly ``hop_count`` two-word tokens, one per
+    P-edge, so the whole schedule bulk-charges; the prefix-closed
+    recurrence X[≤ i, ≥ i+d−1] = min(X[≤ i−1, ≥ i+d], X[i, ≥ i+d−1])
+    is one shifted elementwise minimum per descending d.
+    """
+    np = numpy_or_none()
+    h = hop_count
+
+    def column(d: int):
+        return np.fromiter(
+            ((x_geq[i].get(i + d, INF) if i + d <= h else INF)
+             for i in range(h + 1)),
+            dtype=np.int64, count=h + 1)
+
+    with net.ledger.phase(name):
+        rounds = max(0, zeta - 1)
+        charge_uniform_rounds(net, rounds, rounds * h, DP_MESSAGE_WORDS,
+                               path[:h], path[1:h + 1])
+        best = column(zeta)
+        inf_head = np.full(1, INF, dtype=np.int64)
+        for d in range(zeta, 1, -1):
+            shifted = np.concatenate((inf_head, best[:-1]))
+            best = np.minimum(shifted, column(d - 1))
+        return best.tolist()
+
+
+# -- pipelined path sweeps (Lemmas 4.4/5.7/5.9 engine) -----------------------
+
+#: Wire size of a sweep token: ("sweep", carried int).
+SWEEP_MESSAGE_WORDS = words_of(("sweep", 0))
+
+
+def path_sweeps_vector_applicable(net, tasks) -> bool:
+    """Can :func:`repro.congest.pipeline.run_path_sweeps` vectorize?
+
+    Requires every task to be *declarative* — an int ``init`` plus a
+    ``local_min`` table so the per-visit combine is ``min(value,
+    local_min[pos])`` — and the start-position groups to occupy
+    pairwise-disjoint link ranges per direction (true for the segment
+    sweeps: segments partition P).  Disjointness is what keeps the FIFO
+    schedule closed-form: group token j crosses its m-th link in round
+    j + 1 + m, with no cross-group queueing.
+    """
+    if not vector_enabled(net):
+        return False
+    checked = set()
+    seen_keys = set()
+    spans: Dict[int, Dict[int, List[int]]] = {1: {}, -1: {}}
+    for task in tasks:
+        local = task.local_min
+        if local is None or type(task.init) is not int \
+                or not _fits_int64(task.init):
+            return False
+        if id(local) not in checked:
+            if not all(type(x) is int and _fits_int64(x) for x in local):
+                return False
+            checked.add(id(local))
+        if task.key in seen_keys:
+            return False  # duplicate keys alias engine results
+        seen_keys.add(task.key)
+        if task.start == task.end:
+            continue
+        direction = 1 if task.end > task.start else -1
+        lo, hi = sorted((task.start, task.end))
+        span = spans[direction].get(task.start)
+        if span is None:
+            spans[direction][task.start] = [lo, hi]
+        else:
+            span[0] = min(span[0], lo)
+            span[1] = max(span[1], hi)
+    for groups in spans.values():
+        intervals = sorted(groups.values())
+        for (_, a_hi), (b_lo, _) in zip(intervals, intervals[1:]):
+            if a_hi > b_lo:
+                return False
+    return True
+
+
+def run_path_sweeps_vector(net, path, tasks, name: str) -> Dict:
+    """Whole-schedule sweeps: returns ``{key: (final, trace)}``.
+
+    The FIFO pipeline of one start-group is closed-form (token j
+    crosses link m in round j + 1 + m), so the ledger bulk-charges the
+    makespan and total token-hops; values are running minima of each
+    task's ``local_min`` table along the visited positions — one
+    ``np.minimum.accumulate`` per task.
+    """
+    np = numpy_or_none()
+    with net.ledger.phase(name):
+        out: Dict = {}
+        groups: Dict[Tuple[int, int], List] = {}
+        for task in tasks:
+            if task.start == task.end:
+                trace = {task.start: task.init} if task.deposit else {}
+                out[task.key] = (task.init, trace)
+                continue
+            direction = 1 if task.end > task.start else -1
+            groups.setdefault((task.start, direction), []).append(task)
+
+        rounds = 0
+        total = 0
+        first_senders: List[int] = []
+        first_targets: List[int] = []
+        for (start, direction), members in groups.items():
+            for j, task in enumerate(members):
+                length = abs(task.end - task.start)
+                total += length
+                if j + length > rounds:
+                    rounds = j + length
+            first_senders.append(path[start])
+            first_targets.append(path[start + direction])
+        charge_uniform_rounds(net, rounds, total, SWEEP_MESSAGE_WORDS,
+                               first_senders, first_targets)
+
+        tables: Dict[int, object] = {}
+        for (start, direction), members in groups.items():
+            for task in members:
+                table = tables.get(id(task.local_min))
+                if table is None:
+                    table = tables[id(task.local_min)] = np.asarray(
+                        task.local_min, dtype=np.int64)
+                if direction == 1:
+                    seg = table[start + 1: task.end + 1]
+                else:
+                    seg = table[task.end: start][::-1]
+                values = np.minimum(
+                    task.init, np.minimum.accumulate(seg)).tolist()
+                trace = {}
+                if task.deposit:
+                    trace[start] = task.init
+                    pos = start
+                    for value in values:
+                        pos += direction
+                        trace[pos] = value
+                out[task.key] = (values[-1], trace)
+        return out
+
+
+# -- BFS spanning-tree flood -------------------------------------------------
+
+#: Wire size of the flood control messages: ("offer",) / ("adopt",).
+TREE_MESSAGE_WORDS = words_of(("offer",))
+
+
+def spanning_tree_vector_applicable(net) -> bool:
+    """Spanning-tree kernel gate (plain :func:`vector_enabled`)."""
+    return vector_enabled(net)
+
+
+def spanning_tree_flood_vector(net, root: int):
+    """Whole-frontier rounds of the BFS spanning-tree flood.
+
+    Charges within the caller's open phase and returns ``(parent,
+    depth)`` lists (``-1`` marks unreached vertices; the dispatcher
+    raises the disconnection error and assembles the tree).  Each level
+    costs two rounds exactly like the message path: an offers round
+    (one 1-word message per (frontier vertex, unreached neighbor) link)
+    and a confirmation round (one per adopted vertex); adoption picks
+    the smallest offering neighbor via a segmented minimum.
+    """
+    np = numpy_or_none()
+    n = net.n
+    arr = net.topology.arrays()
+    indptr, indices = arr.nbr_indptr, arr.nbr_indices
+    size = TREE_MESSAGE_WORDS
+    overload = net.strict and size > net.bandwidth_words
+    depth = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    depth[root] = 0
+    parent[root] = root
+    #: per-vertex smallest offering neighbor (n = "no offer yet").
+    chosen = np.full(n, n, dtype=np.int64)
+    frontier = np.asarray([root], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        counts = indptr[frontier + 1] - indptr[frontier]
+        total = int(counts.sum())
+        if not total:
+            break
+        slots = _expand_ranges(np, indptr[frontier], counts, total)
+        targets = indices[slots]
+        unreached = depth[targets] < 0
+        offer_targets = targets[unreached]
+        if not offer_targets.size:
+            break
+        offer_senders = np.repeat(frontier, counts)[unreached]
+        _charge_uniform_round(net, int(offer_targets.size), size)
+        if overload:
+            _raise_first_overload(net, offer_senders, offer_targets,
+                                  size)
+        np.minimum.at(chosen, offer_targets, offer_senders)
+        adopted = np.unique(offer_targets)
+        parent[adopted] = chosen[adopted]
+        depth[adopted] = level + 1
+        _charge_uniform_round(net, int(adopted.size), size)
+        frontier = adopted
+        level += 1
+    return parent.tolist(), depth.tolist()

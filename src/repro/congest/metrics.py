@@ -104,6 +104,28 @@ class RoundLedger:
             self._stats[name].charge_round(
                 messages, words, max_link_words, violations)
 
+    def charge_rounds(self, rounds: int, messages: int, words: int,
+                      max_link_words: int, violations: int = 0) -> None:
+        """Charge ``rounds`` rounds' aggregate totals in one call.
+
+        Equivalent to any sequence of ``rounds`` :meth:`charge_round`
+        calls whose message/word/violation counts sum to the given
+        totals and whose per-round link maxima peak at
+        ``max_link_words`` — phase stats only ever hold aggregates, so
+        the vector kernels use this to charge a whole schedule at once
+        without walking it round by round.
+        """
+        if rounds <= 0:
+            return
+        for name in set(self._stack):
+            stats = self._stats[name]
+            stats.rounds += rounds
+            stats.messages += messages
+            stats.words += words
+            if max_link_words > stats.max_link_words:
+                stats.max_link_words = max_link_words
+            stats.violations += violations
+
     # -- reading -----------------------------------------------------------
 
     def __getitem__(self, name: str) -> PhaseStats:

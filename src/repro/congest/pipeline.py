@@ -14,6 +14,17 @@ Positions are indices into the path (0..h_st); a sweep with
 ``start < end`` walks rightward (toward t), ``start > end`` leftward.
 Tokens may also deposit their running value at every vertex they visit
 (used by the prefix-minimum computations of Lemma 5.7).
+
+Sweeps come in two flavors.  A *callable* task supplies ``combine``, an
+arbitrary per-visit local update.  A *declarative* task supplies
+``local_min`` instead — a per-position table with the fixed semantics
+``value ← min(value, local_min[pos])`` — which is all the prefix/suffix
+minima of Lemmas 5.7/5.9 need.  Declarative tasks are what the vector
+fabric can batch: when every task is declarative (and the start groups
+occupy disjoint link ranges), the whole schedule runs as array kernels
+(:func:`repro.congest.kernels.run_path_sweeps_vector`) with identical
+results and ledger accounting; otherwise the message engine below serves
+the call.
 """
 
 from __future__ import annotations
@@ -21,8 +32,11 @@ from __future__ import annotations
 from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable, Dict, Hashable, List, Optional, Sequence, Tuple,
+)
 
+from . import kernels
 from .network import CongestNetwork
 
 #: combine(position, carried) -> new carried value.  ``position`` is the
@@ -47,18 +61,25 @@ class SweepTask:
     init:
         The value leaving the start vertex (computed locally there).
     combine:
-        Per-visit local update.
+        Per-visit local update; ``None`` for declarative tasks.
     deposit:
         When True, the value *after* combining is recorded at every
         visited position (including ``start`` with the raw ``init``).
+    local_min:
+        Declarative form of ``combine``: a table indexed by path
+        position (each entry is knowledge the owning vertex holds
+        locally), giving the fixed update ``min(value,
+        local_min[pos])``.  Exactly one of ``combine``/``local_min``
+        must be provided; declarative tasks are vector-kernel eligible.
     """
 
     key: Hashable
     start: int
     end: int
     init: object
-    combine: CombineFn
+    combine: Optional[CombineFn] = None
     deposit: bool = False
+    local_min: Optional[Sequence[int]] = None
 
 
 @dataclass
@@ -87,8 +108,24 @@ def run_path_sweeps(
     results: Dict[Hashable, SweepResult] = {}
     if not tasks:
         return results
+    hops = len(path) - 1
+    for task in tasks:
+        if not (0 <= task.start <= hops and 0 <= task.end <= hops):
+            raise ValueError(
+                f"sweep {task.key!r} leaves the path bounds")
+        if (task.combine is None) == (task.local_min is None):
+            raise ValueError(
+                f"sweep {task.key!r} needs exactly one of "
+                "combine/local_min")
+
+    if kernels.path_sweeps_vector_applicable(net, tasks):
+        raw = kernels.run_path_sweeps_vector(net, path, tasks, name)
+        return {
+            key: SweepResult(key=key, final=final, trace=trace)
+            for key, (final, trace) in raw.items()
+        }
+
     with net.ledger.phase(name):
-        hops = len(path) - 1
         # Directed link queues keyed by (position, direction); direction
         # +1 moves token from path[p] to path[p+1].  The deterministic
         # (position, direction) service order is maintained
@@ -108,9 +145,6 @@ def run_path_sweeps(
             queue.append((task, position + direction, value))
 
         for task in tasks:
-            if not (0 <= task.start <= hops and 0 <= task.end <= hops):
-                raise ValueError(
-                    f"sweep {task.key!r} leaves the path bounds")
             result = SweepResult(key=task.key, final=task.init)
             if task.deposit:
                 result.trace[task.start] = task.init
@@ -119,6 +153,23 @@ def run_path_sweeps(
                 continue
             enqueue(task, task.start, task.init)
             pending += 1
+
+        # One message object per distinct carried value, shared across
+        # links and rounds (sweeps carry the same value — often INF —
+        # over and over): the batched fabric's per-round id-keyed size
+        # memo then prices each distinct value once per round instead
+        # of once per token.  Unhashable values fall back to a fresh
+        # tuple.
+        message_of: Dict[object, tuple] = {}
+
+        def message_for(value: object) -> tuple:
+            try:
+                message = message_of.get(value)
+            except TypeError:
+                return ("sweep", value)
+            if message is None:
+                message = message_of[value] = ("sweep", value)
+            return message
 
         while pending:
             outbox: Dict[int, List[Tuple[int, object]]] = {}
@@ -134,11 +185,16 @@ def run_path_sweeps(
                 # One token per link per round; a token's wire format is
                 # (sweep id, carried value) — a constant number of words.
                 outbox.setdefault(sender, []).append(
-                    (receiver, ("sweep", value)))
+                    (receiver, message_for(value)))
                 moves.append((task, nxt, value))
             net.exchange(outbox)
             for task, position, value in moves:
-                value = task.combine(position, value)
+                if task.combine is not None:
+                    value = task.combine(position, value)
+                else:
+                    local = task.local_min[position]
+                    if local < value:
+                        value = local
                 result = results[task.key]
                 if task.deposit:
                     result.trace[position] = value

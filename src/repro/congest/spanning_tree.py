@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from . import kernels
 from .errors import CongestError
 from .network import CongestNetwork
+from .words import words_of
 
 
 @dataclass
@@ -80,6 +82,21 @@ def build_spanning_tree(
     in total.
     """
     name = phase if phase is not None else "spanning-tree"
+    if kernels.spanning_tree_vector_applicable(net):
+        with net.ledger.phase(name):
+            parent, depth = kernels.spanning_tree_flood_vector(net, root)
+            if min(parent) < 0:
+                raise CongestError(
+                    "communication graph is disconnected; no spanning "
+                    "tree")
+            children = [[] for _ in range(net.n)]
+            for v in range(net.n):
+                if v != root:
+                    children[parent[v]].append(v)
+            tree = SpanningTree(root=root, parent=parent,
+                                children=children, depth=depth)
+            tree.verify()
+            return tree
     nbr_lists = net.topology.nbr_lists
     exchange = net.exchange
     with net.ledger.phase(name):
@@ -128,3 +145,47 @@ def build_spanning_tree(
                             children=children, depth=depth)
         tree.verify()
         return tree
+
+
+def replay_spanning_tree_charges(
+    net: CongestNetwork,
+    tree: SpanningTree,
+    phase: Optional[str] = None,
+) -> None:
+    """Charge the ledger exactly as rebuilding ``tree`` on ``net`` would.
+
+    The BFS flood is deterministic on a frozen topology, so its
+    per-round charges are a pure function of the topology and the BFS
+    layering: level ℓ costs one offers round (one 1-word message per
+    (depth-ℓ vertex, depth-(ℓ+1) neighbor) link — every not-yet-reached
+    neighbor of a frontier vertex sits exactly one level deeper) and
+    one confirmation round (one 1-word message per level-(ℓ+1) vertex).
+    Callers that already hold the tree for this topology (Corollary
+    6.2's 2-SiSP aggregation reuses the solver's tree) replay the
+    charges instead of re-flooding, keeping ledgers bit-identical to a
+    rebuild at none of the cost.  Assumes a non-strict network (the
+    1-word control messages cannot overload any real budget).
+    """
+    name = phase if phase is not None else "spanning-tree"
+    nbr_lists = net.topology.nbr_lists
+    depth = tree.depth
+    height = max(depth)
+    offers = [0] * (height + 1)
+    adopted = [0] * (height + 1)
+    for u in range(net.n):
+        du = depth[u]
+        if du > 0:
+            adopted[du] += 1
+        for v in nbr_lists[u]:
+            if depth[v] == du + 1:
+                offers[du] += 1
+    size = words_of(("offer",))
+    oversized = size > net.bandwidth_words
+    with net.ledger.phase(name):
+        for level in range(height):
+            off = offers[level]
+            net.ledger.charge_round(off, off * size, size,
+                                    off if oversized else 0)
+            ado = adopted[level + 1]
+            net.ledger.charge_round(ado, ado * size, size,
+                                    ado if oversized else 0)

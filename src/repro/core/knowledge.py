@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..congest import kernels
 from ..congest.broadcast import broadcast_messages
 from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import SpanningTree, build_spanning_tree
@@ -102,24 +103,36 @@ def acquire_path_knowledge(
         # token at position p carries (origin position's vertex id, hops,
         # weighted dist from the origin).  Each vertex learns the record
         # of its nearest sampled predecessor.
-        from_left: Dict[int, tuple] = {}
-        tokens = [(i, path[i], 0, 0) for i in sampled if i < h]
-        while tokens:
-            outbox: Dict[int, list] = {}
-            moves = []
-            for pos, origin, hops, dist in tokens:
-                nxt = pos + 1
-                w = weights[(path[pos], path[nxt])]
-                outbox.setdefault(path[pos], []).append(
-                    (path[nxt], ("chain", origin, hops + 1, dist + w)))
-                moves.append((nxt, origin, hops + 1, dist + w))
-            net.exchange(outbox)
-            tokens = []
-            for pos, origin, hops, dist in moves:
-                from_left[pos] = (origin, hops, dist)
-                if pos not in sampled_set and pos < h:
-                    tokens.append((pos, origin, hops, dist))
-                # tokens stop at sampled vertices (they record only).
+        prefix = [0] * (h + 1)
+        for i in range(h):
+            prefix[i + 1] = prefix[i] + weights[(path[i], path[i + 1])]
+        if kernels.chain_flood_vector_applicable(net, prefix):
+            # Tokens advance in lockstep between consecutive sampled
+            # positions: the schedule is gap arithmetic and the records
+            # are prefix-weight differences, so the kernel charges the
+            # identical rounds without the per-token exchanges.
+            from_left = kernels.chain_flood_vector(
+                net, path, sampled, prefix)
+        else:
+            from_left = {}
+            tokens = [(i, path[i], 0, 0) for i in sampled if i < h]
+            while tokens:
+                outbox: Dict[int, list] = {}
+                moves = []
+                for pos, origin, hops, dist in tokens:
+                    nxt = pos + 1
+                    w = weights[(path[pos], path[nxt])]
+                    outbox.setdefault(path[pos], []).append(
+                        (path[nxt],
+                         ("chain", origin, hops + 1, dist + w)))
+                    moves.append((nxt, origin, hops + 1, dist + w))
+                net.exchange(outbox)
+                tokens = []
+                for pos, origin, hops, dist in moves:
+                    from_left[pos] = (origin, hops, dist)
+                    if pos not in sampled_set and pos < h:
+                        tokens.append((pos, origin, hops, dist))
+                    # tokens stop at sampled vertices (record only).
 
         # -- step 3: sampled vertices broadcast their chain records.
         if tree is None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+from ..congest import kernels
 from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import SpanningTree
 from ..congest.words import INF, clamp_inf
@@ -79,6 +80,10 @@ def long_detour_lengths(
         m_final, n_final = tables["M"], tables["N"]
 
         k = distances.count
+        # The final Proposition 5.1 combine is ledger-free local work;
+        # the vector fabric runs it as one (k, h) min-plus reduction.
+        if h and kernels.vector_enabled(net):
+            return kernels.pairwise_min_sum_vector(m_final, n_final)
         out = []
         for i in range(h):
             best = INF

@@ -126,6 +126,10 @@ def solve_rpaths(
         extras={
             "short": short,
             "long": long_,
+            # The solver's spanning tree, for callers that keep working
+            # on the same topology (2-SiSP's Corollary 6.2 aggregation
+            # reuses it instead of re-flooding).
+            "tree": tree,
         },
     )
     return report

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ..congest import kernels
 from ..congest.broadcast import broadcast_messages
 from ..congest.network import CongestNetwork
 from ..congest.pipeline import SweepTask, run_path_sweeps
@@ -52,22 +53,24 @@ def prefix_min_to_landmarks(
     """
     path = knowledge.path
     k = distances.count
+    # One declarative table per landmark, shared by every segment: at
+    # position p the owning vertex locally knows |s v_p| + |v_p l_j|,
+    # and the sweep semantics are exactly "min with the local value" —
+    # which is what lets the vector fabric batch the whole schedule.
+    locals_j = [
+        [clamp_inf(knowledge.dist_from_s[pos]
+                   + distances.to_landmark[j][path[pos]])
+         for pos in range(len(path))]
+        for j in range(k)
+    ]
     tasks = []
     for g in range(len(checkpoints) - 1):
         left, right = checkpoints[g], checkpoints[g + 1]
         for j in range(k):
-            def combine(pos: int, value: int, j: int = j) -> int:
-                local = clamp_inf(
-                    knowledge.dist_from_s[pos]
-                    + distances.to_landmark[j][path[pos]])
-                return min(value, local)
-
-            init = clamp_inf(
-                knowledge.dist_from_s[left]
-                + distances.to_landmark[j][path[left]])
             tasks.append(SweepTask(
                 key=("M", g, j), start=left, end=right,
-                init=init, combine=combine, deposit=True))
+                init=locals_j[j][left], local_min=locals_j[j],
+                deposit=True))
     results = run_path_sweeps(net, path, tasks, phase=phase)
     table: List[List[Dict[int, int]]] = []
     for g in range(len(checkpoints) - 1):
@@ -89,22 +92,20 @@ def suffix_min_from_landmarks(
     """
     path = knowledge.path
     k = distances.count
+    locals_j = [
+        [clamp_inf(distances.from_landmark[j][path[pos]]
+                   + knowledge.dist_to_t[pos])
+         for pos in range(len(path))]
+        for j in range(k)
+    ]
     tasks = []
     for g in range(len(checkpoints) - 1):
         left, right = checkpoints[g], checkpoints[g + 1]
         for j in range(k):
-            def combine(pos: int, value: int, j: int = j) -> int:
-                local = clamp_inf(
-                    distances.from_landmark[j][path[pos]]
-                    + knowledge.dist_to_t[pos])
-                return min(value, local)
-
-            init = clamp_inf(
-                distances.from_landmark[j][path[right]]
-                + knowledge.dist_to_t[right])
             tasks.append(SweepTask(
                 key=("N", g, j), start=right, end=left,
-                init=init, combine=combine, deposit=True))
+                init=locals_j[j][right], local_min=locals_j[j],
+                deposit=True))
     results = run_path_sweeps(net, path, tasks, phase=phase)
     table: List[List[Dict[int, int]]] = []
     for g in range(len(checkpoints) - 1):
@@ -195,16 +196,34 @@ def finish_distance_tables(
         with net.ledger.phase("N-shift"):
             # Path vertices are pairwise distinct (P is a shortest
             # path), so each round's outbox is one message per path
-            # vertex — built directly, no setdefault probes.
+            # vertex — built directly, no setdefault probes.  Every
+            # round moves exactly h three-word tokens one hop leftward
+            # and the shifted row is already local knowledge, so the
+            # vector fabric bulk-charges the schedule instead of
+            # exchanging.
             n_final = [[INF] * h for _ in range(k)]
-            for j in range(k):
-                row = n_at_vertex[j]
-                outbox: Dict[int, list] = {
-                    path[pos]: [(path[pos - 1], ("Nshift", j, row[pos]))]
-                    for pos in range(1, h + 1)
-                }
-                net.exchange(outbox)
-                n_final[j][:] = row[1:h + 1]
+            # The bulk charge assumes every token is the 3-word
+            # ("Nshift", j, int); the weighted Theorem 3 pipeline
+            # shifts exact Fraction lengths (2 words each), so any
+            # non-int value sends the whole shift down the message
+            # path.
+            if kernels.vector_enabled(net) and all(
+                    type(v) is int for row in n_at_vertex for v in row):
+                kernels.charge_uniform_rounds(
+                    net, k, k * h, kernels.N_SHIFT_MESSAGE_WORDS,
+                    path[1:h + 1], path[:h])
+                for j in range(k):
+                    n_final[j][:] = n_at_vertex[j][1:h + 1]
+            else:
+                for j in range(k):
+                    row = n_at_vertex[j]
+                    outbox: Dict[int, list] = {
+                        path[pos]: [(path[pos - 1],
+                                     ("Nshift", j, row[pos]))]
+                        for pos in range(1, h + 1)
+                    }
+                    net.exchange(outbox)
+                    n_final[j][:] = row[1:h + 1]
         return {"M": m_final, "N": n_final}
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..congest import kernels
 from ..congest.network import CongestNetwork
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance
@@ -104,17 +105,22 @@ def short_detour_lengths(
 
         # Stage 3: Lemma 4.4 — ζ−1 pipelined rounds along P.
         # best[i] holds X[≤ i, ≥ i+d] as d descends from ζ to 1.
-        with net.ledger.phase("dp-pipeline(L4.4)"):
-            best = [x_i_geq(i, i + zeta) for i in range(h + 1)]
-            for d in range(zeta, 1, -1):
-                outbox: Dict[int, list] = {}
-                for i in range(h):
-                    outbox.setdefault(path[i], []).append(
-                        (path[i + 1], ("dp", best[i])))
-                net.exchange(outbox)
-                new_best = list(best)
-                for i in range(h + 1):
-                    incoming = best[i - 1] if i > 0 else INF
-                    new_best[i] = min(incoming, x_i_geq(i, i + (d - 1)))
-                best = new_best
+        if kernels.dp_sweep_vector_applicable(net, zeta):
+            best = kernels.dp_sweep_vector(
+                net, path, x_geq, h, zeta, "dp-pipeline(L4.4)")
+        else:
+            with net.ledger.phase("dp-pipeline(L4.4)"):
+                best = [x_i_geq(i, i + zeta) for i in range(h + 1)]
+                for d in range(zeta, 1, -1):
+                    outbox: Dict[int, list] = {}
+                    for i in range(h):
+                        outbox.setdefault(path[i], []).append(
+                            (path[i + 1], ("dp", best[i])))
+                    net.exchange(outbox)
+                    new_best = list(best)
+                    for i in range(h + 1):
+                        incoming = best[i - 1] if i > 0 else INF
+                        new_best[i] = min(incoming,
+                                          x_i_geq(i, i + (d - 1)))
+                    best = new_best
         return [min(best[i], INF) for i in range(h)]

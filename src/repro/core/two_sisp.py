@@ -13,7 +13,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..congest.broadcast import global_min
-from ..congest.spanning_tree import build_spanning_tree
+from ..congest.spanning_tree import (
+    SpanningTree,
+    build_spanning_tree,
+    replay_spanning_tree_charges,
+)
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance
 from .rpaths import RPathsReport, solve_rpaths
@@ -54,11 +58,17 @@ def solve_two_sisp(
         landmark_c=landmark_c, use_oracle_knowledge=use_oracle_knowledge,
         fabric=fabric)
     # Re-create the network topology on the same ledger for the final
-    # aggregation (solve_rpaths owns its network; the tree rebuild is the
-    # O(D) setup the corollary's reduction already pays).
+    # aggregation (solve_rpaths owns its network; the O(D) tree setup is
+    # what the corollary's reduction pays).  The solver already built
+    # the BFS tree of this very topology, so reuse it and replay the
+    # identical flood charges instead of re-running the construction.
     net = instance.build_network(fabric=fabric)
     net.ledger = report.ledger
-    tree = build_spanning_tree(net, phase="2sisp-tree")
+    tree = report.extras.get("tree")
+    if isinstance(tree, SpanningTree) and len(tree.parent) == net.n:
+        replay_spanning_tree_charges(net, tree, phase="2sisp-tree")
+    else:  # pragma: no cover - defensive (reports always carry a tree)
+        tree = build_spanning_tree(net, phase="2sisp-tree")
     values = {
         instance.path[i]: report.lengths[i]
         for i in range(instance.hop_count)
