@@ -419,7 +419,17 @@ def main(argv=None) -> int:
                         help="replays per engine (best-of timing)")
     parser.add_argument("--scale", type=int, default=1,
                         help="instance size multiplier")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="record spans into this JSONL trace "
+                             "directory (read back with "
+                             "'repro trace summary')")
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from repro import telemetry
+        telemetry.enable_tracing(args.trace)
+        telemetry.write_meta(args.trace, bench="fabric",
+                             scale=args.scale, repeats=args.repeats)
 
     # Kernel workloads run first, on a clean heap: the replay phase
     # keeps ~100k recorded messages live, and timing the allocation-
@@ -427,6 +437,12 @@ def main(argv=None) -> int:
     vector_families = measure_vector_families(scale=args.scale,
                                               repeats=args.repeats)
     families = measure_families(scale=args.scale, repeats=args.repeats)
+
+    if args.trace is not None:
+        from repro import telemetry
+        telemetry.flush(args.trace)
+        telemetry.disable_tracing()
+        print(f"trace: {args.trace}")
     print(render_report(families))
     print(render_vector_report(vector_families))
 

@@ -313,11 +313,27 @@ def main(argv=None) -> int:
                              "oracle-build catalog (the solve family "
                              "set never shrinks — the baseline "
                              "comparison needs every family present)")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="record spans into this JSONL trace "
+                             "directory (read back with "
+                             "'repro trace summary')")
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from repro import telemetry
+        telemetry.enable_tracing(args.trace)
+        telemetry.write_meta(args.trace, bench="solver",
+                             quick=args.quick, repeats=args.repeats)
 
     repeats = 1 if args.quick else args.repeats
     families = measure_families(repeats)
     oracle_build = measure_oracle_build(args.quick)
+
+    if args.trace is not None:
+        from repro import telemetry
+        telemetry.flush(args.trace)
+        telemetry.disable_tracing()
+        print(f"trace: {args.trace}")
     print(render_report(families, oracle_build))
 
     payload = {

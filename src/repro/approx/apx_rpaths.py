@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..congest.metrics import RoundLedger
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF
@@ -69,28 +70,32 @@ def solve_apx_rpaths(
     if zeta is None:
         zeta = default_zeta(instance.n)
 
-    net = instance.build_network(bandwidth_words=bandwidth_words,
-                                 fabric=fabric)
-    tree = build_spanning_tree(net)
-    if use_oracle_knowledge:
-        knowledge = oracle_knowledge(instance)
-    else:
-        knowledge = acquire_path_knowledge(
-            instance, net, tree=tree, seed=seed)
+    with telemetry.span("solve/apx-rpaths", instance=instance.name,
+                        n=instance.n, fabric=fabric,
+                        epsilon=epsilon, zeta=zeta) as sp:
+        net = instance.build_network(bandwidth_words=bandwidth_words,
+                                     fabric=fabric)
+        sp.set_ledger(net.ledger)
+        tree = build_spanning_tree(net)
+        if use_oracle_knowledge:
+            knowledge = oracle_knowledge(instance)
+        else:
+            knowledge = acquire_path_knowledge(
+                instance, net, tree=tree, seed=seed)
 
-    max_length = sum(w for _, _, w in instance.edges)
-    scales = scale_ladder(zeta, epsilon, max_length)
+        max_length = sum(w for _, _, w in instance.edges)
+        scales = scale_ladder(zeta, epsilon, max_length)
 
-    short = short_detour_lengths_weighted(
-        instance, net, tree, knowledge, zeta, scales)
-    long_ = long_detour_lengths_weighted(
-        instance, net, tree, knowledge, zeta, scales,
-        landmarks=landmarks, seed=seed + 1, landmark_c=landmark_c)
+        short = short_detour_lengths_weighted(
+            instance, net, tree, knowledge, zeta, scales)
+        long_ = long_detour_lengths_weighted(
+            instance, net, tree, knowledge, zeta, scales,
+            landmarks=landmarks, seed=seed + 1, landmark_c=landmark_c)
 
-    lengths: List[float] = []
-    for a, b in zip(short, long_):
-        best = min(a, b)
-        lengths.append(float(best) if best < INF else float("inf"))
+        lengths: List[float] = []
+        for a, b in zip(short, long_):
+            best = min(a, b)
+            lengths.append(float(best) if best < INF else float("inf"))
 
     if landmarks is not None:
         landmark_count = len(set(landmarks))

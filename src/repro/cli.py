@@ -24,6 +24,12 @@ serve
     The query-serving tier: ``serve bench`` drives a generated
     workload through the sharded oracle service and reports
     queries/sec, hit ratio, and solves saved by batching.
+trace
+    Trace tooling over the JSONL artifacts written by ``suite run
+    --trace`` (and the benches' ``--trace``): ``trace summary`` joins
+    per-phase wall time with ledger rounds and prints the
+    fallback-reason histogram; ``trace diff`` compares two traces
+    phase by phase.
 info
     Print the library version and the experiment index.
 """
@@ -182,11 +188,13 @@ def cmd_suite_run(args) -> int:
             label=args.label,
             record=not args.no_record,
             fabric=args.fabric,
+            trace=args.trace,
         )
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}")
     title = ("suite results (smoke)" if args.smoke else "suite results")
-    print(format_suite_report(report, title=title))
+    print(format_suite_report(report, title=title,
+                              durations=args.durations))
     if not report.ok:
         for r in report.results:
             if not r.ok:
@@ -235,18 +243,36 @@ def cmd_query(args) -> int:
         edge = instance.path_edges()[
             args.fail_index % instance.hop_count]
     answer = oracle.query(s, t, edge)
-    print(f"instance {instance.name}: n={instance.n} m={instance.m} "
-          f"h_st={instance.hop_count}")
-    print(f"oracle: solver={solver}, build cost "
-          f"{oracle.build_rounds} rounds (paid once, amortized over "
-          "every query)")
-    print(f"query d({s},{t}) avoiding ({edge[0]},{edge[1]}): "
-          f"{answer.display_length()}  [{answer.kind}]")
+    ok = None
     if args.check:
         ok = answer.length == centralized_truth(instance, s, t, edge)
-        print(f"oracle check: {'OK' if ok else 'MISMATCH'}")
-        return 0 if ok else 1
-    return 0
+    if args.json:
+        import json
+        print(json.dumps({
+            "instance": instance.name,
+            "n": instance.n,
+            "m": instance.m,
+            "h_st": instance.hop_count,
+            "solver": solver,
+            "build_rounds": oracle.build_rounds,
+            "query": {"s": s, "t": t,
+                      "edge": [edge[0], edge[1]]},
+            "length": (None if answer.length >= INF
+                       else answer.length),
+            "kind": answer.kind,
+            "check": ok,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"instance {instance.name}: n={instance.n} "
+              f"m={instance.m} h_st={instance.hop_count}")
+        print(f"oracle: solver={solver}, build cost "
+              f"{oracle.build_rounds} rounds (paid once, amortized "
+              "over every query)")
+        print(f"query d({s},{t}) avoiding ({edge[0]},{edge[1]}): "
+              f"{answer.display_length()}  [{answer.kind}]")
+        if ok is not None:
+            print(f"oracle check: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok is not False else 1
 
 
 def cmd_serve_bench(args) -> int:
@@ -277,6 +303,7 @@ def cmd_serve_bench(args) -> int:
     kinds = args.workload or ["uniform", "zipf", "adversarial",
                               "mixed"]
     rows = []
+    records = []
     failures = 0
     for kind in kinds:
         service = ShardedQueryService(
@@ -307,15 +334,94 @@ def cmd_serve_bench(args) -> int:
             f"{wall:.2f}s",
             "OK" if correct else "WRONG",
         ])
-    print(format_table(
-        ["workload", "queries", "queries/s", "hit ratio",
-         "batch solves", "solves saved", "wall", "correct"],
-        rows,
-        title=f"serve bench: {args.instances} instances (n={args.n}), "
-              f"{args.shards or 'auto'} shards, jobs={args.jobs}"))
+        records.append({
+            "workload": kind,
+            "queries": report.queries,
+            "queries_per_sec": round(report.queries / wall, 1),
+            "hit_ratio": round(hit_ratio(report.answers), 4),
+            "wall_seconds": round(wall, 4),
+            "correct": correct,
+            "jobs": report.jobs,
+            "totals": totals.as_metrics(),
+            "service": service.stats(),
+        })
+    if args.json:
+        import json
+        print(json.dumps({
+            "config": {
+                "n": args.n,
+                "instances": args.instances,
+                "shards": args.shards,
+                "capacity": args.capacity,
+                "jobs": args.jobs,
+                "solver": args.solver,
+                "seed": args.seed,
+            },
+            "workloads": records,
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["workload", "queries", "queries/s", "hit ratio",
+             "batch solves", "solves saved", "wall", "correct"],
+            rows,
+            title=f"serve bench: {args.instances} instances "
+                  f"(n={args.n}), {args.shards or 'auto'} shards, "
+                  f"jobs={args.jobs}"))
     if scratch is not None:
         scratch.cleanup()
     return 0 if failures == 0 else 1
+
+
+def _resolve_trace_path(path: str):
+    """``latest`` resolves to the newest trace dir under the store."""
+    import os
+    if path != "latest":
+        return path
+    from .telemetry import latest_trace_dir
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    found = latest_trace_dir(root)
+    if found is None:
+        raise SystemExit(
+            f"error: no trace directories under {root}/traces "
+            "(run 'repro suite run --trace' first)")
+    return found
+
+
+def cmd_trace_summary(args) -> int:
+    from .telemetry import format_summary, load_summary
+    path = _resolve_trace_path(args.path)
+    try:
+        summary = load_summary(path, top=args.top)
+    except (OSError, FileNotFoundError) as exc:
+        raise SystemExit(f"error: cannot read trace: {exc}")
+    if args.json:
+        import json
+        print(json.dumps(summary.as_json(), indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary, title=f"trace {path}"))
+    if args.check_reasons:
+        unknown = summary.unknown_reasons()
+        if unknown:
+            print("error: unknown fallback reasons/kernels: "
+                  + ", ".join(unknown), file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    from .telemetry import diff_summaries, format_diff, load_summary
+    try:
+        old = load_summary(_resolve_trace_path(args.old))
+        new = load_summary(_resolve_trace_path(args.new))
+    except (OSError, FileNotFoundError) as exc:
+        raise SystemExit(f"error: cannot read trace: {exc}")
+    diff = diff_summaries(old, new)
+    if args.json:
+        import json
+        print(json.dumps(diff.as_json(), indent=2, sort_keys=True))
+    else:
+        print(format_diff(diff, threshold=args.threshold))
+    return 1 if diff.regressions(args.threshold) else 0
 
 
 def cmd_info(_args) -> int:
@@ -402,6 +508,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-cell timeout in seconds")
     p_run.add_argument("--label", default="suite",
                        help="run-manifest label")
+    p_run.add_argument("--trace", action="store_true",
+                       help="record spans + counters into a JSONL "
+                            "trace artifact under the store's traces/ "
+                            "(read back with 'repro trace summary')")
+    p_run.add_argument("--durations", type=int, default=0, metavar="N",
+                       help="append a table of the N slowest cells")
     p_run.set_defaults(func=cmd_suite_run)
 
     p_diff = suite_sub.add_parser(
@@ -428,6 +540,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="oracle construction solver")
     p_query.add_argument("--check", action="store_true",
                          help="verify against the centralized oracle")
+    p_query.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
     p_query.set_defaults(func=cmd_query)
 
     p_serve = sub.add_parser(
@@ -462,7 +576,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cache-dir", default=None,
                          help="spill store root (enables persistent "
                               "oracle spill)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output "
+                              "(includes the service stats snapshot)")
     p_bench.set_defaults(func=cmd_serve_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize / diff JSONL trace artifacts")
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+    p_tsum = trace_sub.add_parser(
+        "summary", help="per-phase wall x ledger table, slowest "
+                        "spans, fallback histogram")
+    p_tsum.add_argument("path",
+                        help="trace directory or .jsonl file "
+                             "('latest' = newest under the store)")
+    p_tsum.add_argument("--top", type=int, default=10,
+                        help="slowest spans to list (default 10)")
+    p_tsum.add_argument("--check-reasons", action="store_true",
+                        help="fail when the trace contains kernel "
+                             "dispatch outcomes outside the known "
+                             "reason enum (CI gate)")
+    p_tsum.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    p_tsum.set_defaults(func=cmd_trace_summary)
+
+    p_tdiff = trace_sub.add_parser(
+        "diff", help="phase-level wall + rounds comparison of two "
+                     "traces")
+    p_tdiff.add_argument("old", help="baseline trace dir/file")
+    p_tdiff.add_argument("new", help="candidate trace dir/file")
+    p_tdiff.add_argument("--threshold", type=float, default=0.25,
+                         help="wall-regression threshold as a "
+                              "fraction (default 0.25 = +25%%)")
+    p_tdiff.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
+    p_tdiff.set_defaults(func=cmd_trace_diff)
 
     p_info = sub.add_parser("info", help="version and experiment map")
     p_info.set_defaults(func=cmd_info)

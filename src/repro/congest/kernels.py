@@ -52,11 +52,14 @@ charges per-item sizes the same way the per-link FIFO engine does.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from typing import (
     Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple,
 )
 
+from ..telemetry import dispatch as _dispatch
+from ..telemetry import trace as _trace
 from .errors import BandwidthExceededError
 from .words import INF, words_of
 
@@ -88,15 +91,48 @@ def numpy_or_none():
     return _NUMPY
 
 
-def vector_enabled(net) -> bool:
-    """Should ``net`` route kernel-covered primitives through arrays?
+def _kernel_span(kernel: str):
+    """Wrap a vector kernel in a ``kernel/<name>`` span when tracing.
+
+    When the first argument carries a ledger (the ``net``-taking
+    kernels), the span joins it and reports the kernel's own
+    rounds/messages/words deltas.  Tracing off costs one boolean.
+    """
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _trace._ENABLED:
+                return fn(*args, **kwargs)
+            with _trace.span("kernel/" + kernel) as sp:
+                ledger = getattr(args[0], "ledger", None) if args else None
+                if ledger is not None:
+                    sp.set_ledger(ledger)
+                return fn(*args, **kwargs)
+        return wrapper
+    return deco
+
+
+def vector_gate_reason(net) -> Optional[str]:
+    """The global-gate fallback reason for ``net``, or None when the
+    array kernels may run.
 
     Requires the vector fabric, NumPy, and no per-link total recording
     (the lower-bound cut analysis wants genuine per-message routing).
+    The returned strings are members of the enforced
+    :data:`repro.telemetry.dispatch.KNOWN_REASONS` enum.
     """
-    return (getattr(net, "fabric", None) == "vector"
-            and not net.record_link_totals
-            and numpy_or_none() is not None)
+    if getattr(net, "fabric", None) != "vector":
+        return _dispatch.REASON_FABRIC
+    if net.record_link_totals:
+        return _dispatch.REASON_RECORD_LINK_TOTALS
+    if numpy_or_none() is None:
+        return _dispatch.REASON_NUMPY_MISSING
+    return None
+
+
+def vector_enabled(net) -> bool:
+    """Should ``net`` route kernel-covered primitives through arrays?"""
+    return vector_gate_reason(net) is None
 
 
 def _fits_int64(value: int) -> bool:
@@ -189,22 +225,33 @@ def hop_bfs_vector_applicable(net, seeds: Mapping[int, Value]) -> bool:
     contract that the auxiliary word is a function of the index.  A
     seed set violating it (or carrying non-int64-able values) falls
     back to the message path.
+
+    Dispatch accounting: declines are counted here with their reason;
+    the vector hit is counted inside the kernel, after the
+    overflow-prone send-plan build has succeeded (the dispatcher's
+    ``OverflowError`` handler counts that late fallback).
     """
-    if not vector_enabled(net):
-        return False
+    kernel = _dispatch.KERNEL_HOP_BFS
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(kernel, gate)
     aux_of: Dict[int, int] = {}
     for u, value in seeds.items():
         idx, aux = value
         if not isinstance(idx, int) or not isinstance(aux, int):
-            return False
+            return _dispatch.decline(
+                kernel, _dispatch.REASON_VALUE_RANGE)
         if not (_fits_int64(idx) and _fits_int64(aux)
                 and 0 <= u < net.n):
-            return False
+            return _dispatch.decline(
+                kernel, _dispatch.REASON_VALUE_RANGE)
         if aux_of.setdefault(idx, aux) != aux:
-            return False
+            return _dispatch.decline(
+                kernel, _dispatch.REASON_NON_FUNCTIONAL_AUX)
     return True
 
 
+@_kernel_span("hop_bfs")
 def pruned_max_hop_bfs_vector(
     net,
     seeds: Mapping[int, Value],
@@ -232,6 +279,7 @@ def pruned_max_hop_bfs_vector(
     # the dispatcher can still fall back to the message path.
     indptr, indices, steps = net.topology.send_arrays(
         direction, avoid_edges, delay)
+    _dispatch.record_vector_hit(_dispatch.KERNEL_HOP_BFS)
     # Unit steps (the unweighted Lemma 4.2) collapse the scheduling:
     # everything sent in round d arrives at exact hop d.
     unit_steps = delay is None or bool((steps == 1).all())
@@ -327,15 +375,26 @@ def multisource_vector_applicable(net, sources: Sequence[int],
     keys ``d·k + rank``; decline when that encoding could overflow
     int64 (absurd hop limits) or when a source is out of range (the
     message path's error behavior should win there).
+
+    Like the hop-BFS predicate, declines are counted here; the vector
+    hit is counted inside the kernel once the send plan built.
     """
-    if not vector_enabled(net):
-        return False
+    kernel = _dispatch.KERNEL_MULTISOURCE
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(kernel, gate)
     k = len(sources)
     if hop_limit < 0 or (hop_limit + 2) * max(k, 1) >= _INT64_SAFE:
-        return False
-    return all(isinstance(s, int) and 0 <= s < net.n for s in sources)
+        return _dispatch.decline(kernel,
+                                 _dispatch.REASON_KEY_OVERFLOW)
+    if not all(isinstance(s, int) and 0 <= s < net.n
+               for s in sources):
+        return _dispatch.decline(kernel,
+                                 _dispatch.REASON_SOURCE_RANGE)
+    return True
 
 
+@_kernel_span("multisource")
 def multi_source_hop_bfs_vector(
     net,
     sources: Sequence[int],
@@ -361,10 +420,12 @@ def multi_source_hop_bfs_vector(
     n = net.n
     k = len(sources)
     if k == 0:
+        _dispatch.record_vector_hit(_dispatch.KERNEL_MULTISOURCE)
         with net.ledger.phase(name):
             return []
     indptr, indices, steps = net.topology.send_arrays(
         direction, avoid_edges, delay)
+    _dispatch.record_vector_hit(_dispatch.KERNEL_MULTISOURCE)
     size = HOP_MESSAGE_WORDS
     overload = net.strict and size > net.bandwidth_words
     # Valid queue entries all have distance <= hop_limit, so
@@ -464,7 +525,10 @@ def multi_source_hop_bfs_vector(
 
 def broadcast_vector_applicable(net) -> bool:
     """Broadcast kernel gate (same conditions as :func:`vector_enabled`)."""
-    return vector_enabled(net)
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(_dispatch.KERNEL_BROADCAST, gate)
+    return _dispatch.accept(_dispatch.KERNEL_BROADCAST)
 
 
 def _uniform_broadcast_schedule(net, tree, item_counts: List[int],
@@ -521,6 +585,7 @@ def _uniform_broadcast_schedule(net, tree, item_counts: List[int],
     net.ledger.charge_rounds(rounds, total, total * size, size, violations)
 
 
+@_kernel_span("broadcast")
 def broadcast_messages_vector(net, tree, messages, name: str):
     """Frontier-batched rounds of the pipelined broadcast (Lemma 2.4).
 
@@ -619,6 +684,7 @@ def broadcast_messages_vector(net, tree, messages, name: str):
 # -- local landmark completion (Lemma 5.6) ----------------------------------
 
 
+@_kernel_span("landmark_completion")
 def landmark_completion_vector(closure, from_len, to_len):
     """Vectorized min-plus completion of Lemma 5.6 (local computation).
 
@@ -645,6 +711,7 @@ def landmark_completion_vector(closure, from_len, to_len):
     return from_out, to_out
 
 
+@_kernel_span("pairwise_min_sum")
 def pairwise_min_sum_vector(m_rows, n_rows) -> List[int]:
     """``out[i] = clamp_inf(min_j m_rows[j][i] + n_rows[j][i])``.
 
@@ -672,9 +739,16 @@ def chain_flood_vector_applicable(net, prefix: Sequence[int]) -> bool:
     ``prefix`` are the path prefix weights; every token value is a
     difference of two of them, so one magnitude check covers the lot.
     """
-    return vector_enabled(net) and _fits_int64(prefix[-1])
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(_dispatch.KERNEL_CHAIN_FLOOD, gate)
+    if not _fits_int64(prefix[-1]):
+        return _dispatch.decline(_dispatch.KERNEL_CHAIN_FLOOD,
+                                 _dispatch.REASON_VALUE_RANGE)
+    return _dispatch.accept(_dispatch.KERNEL_CHAIN_FLOOD)
 
 
+@_kernel_span("chain_flood")
 def chain_flood_vector(
     net,
     path: Sequence[int],
@@ -716,9 +790,16 @@ DP_MESSAGE_WORDS = words_of(("dp", 0))
 def dp_sweep_vector_applicable(net, zeta: int) -> bool:
     """Stage-3 kernel gate; X values are ints bounded by INF by
     construction (Lemma 4.3), so only the fabric gate matters."""
-    return vector_enabled(net) and 0 <= zeta < _INT64_SAFE
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(_dispatch.KERNEL_DP_SWEEP, gate)
+    if not (0 <= zeta < _INT64_SAFE):
+        return _dispatch.decline(_dispatch.KERNEL_DP_SWEEP,
+                                 _dispatch.REASON_VALUE_RANGE)
+    return _dispatch.accept(_dispatch.KERNEL_DP_SWEEP)
 
 
+@_kernel_span("dp_sweep")
 def dp_sweep_vector(
     net,
     path: Sequence[int],
@@ -772,22 +853,30 @@ def path_sweeps_vector_applicable(net, tasks) -> bool:
     schedule closed-form: group token j crosses its m-th link in round
     j + 1 + m, with no cross-group queueing.
     """
-    if not vector_enabled(net):
-        return False
+    kernel = _dispatch.KERNEL_PATH_SWEEPS
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(kernel, gate)
     checked = set()
     seen_keys = set()
     spans: Dict[int, Dict[int, List[int]]] = {1: {}, -1: {}}
     for task in tasks:
         local = task.local_min
-        if local is None or type(task.init) is not int \
-                or not _fits_int64(task.init):
-            return False
+        if local is None:
+            return _dispatch.decline(
+                kernel, _dispatch.REASON_NON_DECLARATIVE)
+        if type(task.init) is not int or not _fits_int64(task.init):
+            return _dispatch.decline(
+                kernel, _dispatch.REASON_VALUE_RANGE)
         if id(local) not in checked:
             if not all(type(x) is int and _fits_int64(x) for x in local):
-                return False
+                return _dispatch.decline(
+                    kernel, _dispatch.REASON_VALUE_RANGE)
             checked.add(id(local))
         if task.key in seen_keys:
-            return False  # duplicate keys alias engine results
+            # Duplicate keys alias engine results.
+            return _dispatch.decline(
+                kernel, _dispatch.REASON_DUPLICATE_KEYS)
         seen_keys.add(task.key)
         if task.start == task.end:
             continue
@@ -803,10 +892,12 @@ def path_sweeps_vector_applicable(net, tasks) -> bool:
         intervals = sorted(groups.values())
         for (_, a_hi), (b_lo, _) in zip(intervals, intervals[1:]):
             if a_hi > b_lo:
-                return False
-    return True
+                return _dispatch.decline(
+                    kernel, _dispatch.REASON_OVERLAPPING_GROUPS)
+    return _dispatch.accept(kernel)
 
 
+@_kernel_span("path_sweeps")
 def run_path_sweeps_vector(net, path, tasks, name: str) -> Dict:
     """Whole-schedule sweeps: returns ``{key: (final, trace)}``.
 
@@ -875,9 +966,44 @@ TREE_MESSAGE_WORDS = words_of(("offer",))
 
 def spanning_tree_vector_applicable(net) -> bool:
     """Spanning-tree kernel gate (plain :func:`vector_enabled`)."""
-    return vector_enabled(net)
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(_dispatch.KERNEL_SPANNING_TREE, gate)
+    return _dispatch.accept(_dispatch.KERNEL_SPANNING_TREE)
 
 
+def n_shift_vector_applicable(net, rows) -> bool:
+    """Lemma 5.9 N-shift gate: bulk-charging assumes every token is
+    the 3-word ``("Nshift", j, int)``; the weighted Theorem 3 pipeline
+    shifts exact Fraction lengths, which take the message path."""
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(_dispatch.KERNEL_N_SHIFT, gate)
+    if not all(type(v) is int for row in rows for v in row):
+        return _dispatch.decline(_dispatch.KERNEL_N_SHIFT,
+                                 _dispatch.REASON_VALUE_RANGE)
+    return _dispatch.accept(_dispatch.KERNEL_N_SHIFT)
+
+
+def landmark_completion_vector_applicable(net) -> bool:
+    """Lemma 5.6 completion gate (ledger-free local min-plus sweeps)."""
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(
+            _dispatch.KERNEL_LANDMARK_COMPLETION, gate)
+    return _dispatch.accept(_dispatch.KERNEL_LANDMARK_COMPLETION)
+
+
+def pairwise_min_sum_vector_applicable(net) -> bool:
+    """Proposition 5.1 combine gate (ledger-free local reduction)."""
+    gate = vector_gate_reason(net)
+    if gate is not None:
+        return _dispatch.decline(
+            _dispatch.KERNEL_PAIRWISE_MIN_SUM, gate)
+    return _dispatch.accept(_dispatch.KERNEL_PAIRWISE_MIN_SUM)
+
+
+@_kernel_span("spanning_tree")
 def spanning_tree_flood_vector(net, root: int):
     """Whole-frontier rounds of the BFS spanning-tree flood.
 

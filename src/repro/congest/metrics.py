@@ -20,6 +20,8 @@ import contextlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
+from ..telemetry import trace as _trace
+
 
 @dataclass
 class PhaseStats:
@@ -78,7 +80,13 @@ class RoundLedger:
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
-        """Open a named accounting phase for the duration of the block."""
+        """Open a named accounting phase for the duration of the block.
+
+        When tracing is enabled (:mod:`repro.telemetry.trace`), every
+        phase additionally opens a ``phase/<name>`` span joining its
+        wall time with this ledger's round/message/word deltas; the
+        disabled path is one module-global check.
+        """
         stats = self._stats.get(name)
         if stats is None:
             stats = PhaseStats(name)
@@ -86,7 +94,11 @@ class RoundLedger:
             self._order.append(name)
         self._stack.append(name)
         try:
-            yield stats
+            if _trace._ENABLED:
+                with _trace.span(f"phase/{name}", ledger=self):
+                    yield stats
+            else:
+                yield stats
         finally:
             popped = self._stack.pop()
             assert popped == name, "phase stack corrupted"
@@ -163,14 +175,21 @@ class RoundLedger:
         return {s.name: s.rounds for s in self.phases()}
 
     def report(self) -> str:
-        """Human-readable multi-line summary."""
+        """Human-readable multi-line summary.
+
+        Every column of :class:`PhaseStats` appears — including
+        ``max_link_words`` and ``violations`` — so this report and the
+        traced per-phase view (``repro trace summary``) agree on what a
+        phase cost.
+        """
         lines = [
             f"{'phase':<28} {'rounds':>8} {'messages':>10} "
-            f"{'words':>10} {'max link':>9}"
+            f"{'words':>10} {'max link':>9} {'violations':>11}"
         ]
         for stats in self.phases():
             lines.append(
                 f"{stats.name:<28} {stats.rounds:>8} {stats.messages:>10} "
-                f"{stats.words:>10} {stats.max_link_words:>9}"
+                f"{stats.words:>10} {stats.max_link_words:>9} "
+                f"{stats.violations:>11}"
             )
         return "\n".join(lines)

@@ -71,7 +71,11 @@ def multi_source_hop_bfs(
                 net, sources, hop_limit, direction, avoid_edges, delay,
                 name, max_rounds)
         except OverflowError:
-            pass  # pathological delay steps: run the message path
+            # Pathological delay steps: run the message path.
+            from ..telemetry import dispatch as _dispatch
+            _dispatch.record_fallback(
+                _dispatch.KERNEL_MULTISOURCE,
+                _dispatch.REASON_DELAY_OVERFLOW)
     k = len(sources)
     n = net.n
     downstream, step_in = downstream_step_tables(

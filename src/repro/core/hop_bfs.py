@@ -118,7 +118,9 @@ def pruned_max_hop_bfs(
             # A delay function produced steps beyond int64: nothing has
             # been charged yet (the send plan is built before the phase
             # opens), so the message path below runs it instead.
-            pass
+            from ..telemetry import dispatch as _dispatch
+            _dispatch.record_fallback(_dispatch.KERNEL_HOP_BFS,
+                                      _dispatch.REASON_DELAY_OVERFLOW)
 
     record = set(record_for) if record_for is not None else set(
         range(net.n))

@@ -158,7 +158,7 @@ def compute_landmark_distances(
         # On the vector fabric the min-plus completion runs as int64
         # matrix sweeps (identical values; this is ledger-free local
         # computation, so only value equality is at stake).
-        if kernels.vector_enabled(net):
+        if kernels.landmark_completion_vector_applicable(net):
             from_landmark, to_landmark = (
                 kernels.landmark_completion_vector(
                     closure, from_len, to_len))

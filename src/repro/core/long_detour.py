@@ -82,7 +82,7 @@ def long_detour_lengths(
         k = distances.count
         # The final Proposition 5.1 combine is ledger-free local work;
         # the vector fabric runs it as one (k, h) min-plus reduction.
-        if h and kernels.vector_enabled(net):
+        if h and kernels.pairwise_min_sum_vector_applicable(net):
             return kernels.pairwise_min_sum_vector(m_final, n_final)
         out = []
         for i in range(h):

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..congest.metrics import RoundLedger
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF
@@ -100,21 +101,25 @@ def solve_rpaths(
     if zeta is None:
         zeta = default_zeta(instance.n)
 
-    net = instance.build_network(bandwidth_words=bandwidth_words,
-                                 fabric=fabric)
-    tree = build_spanning_tree(net)
-    if use_oracle_knowledge:
-        knowledge = oracle_knowledge(instance)
-    else:
-        knowledge = acquire_path_knowledge(
-            instance, net, tree=tree, seed=seed)
+    with telemetry.span("solve/rpaths", instance=instance.name,
+                        n=instance.n, fabric=fabric,
+                        zeta=zeta) as sp:
+        net = instance.build_network(bandwidth_words=bandwidth_words,
+                                     fabric=fabric)
+        sp.set_ledger(net.ledger)
+        tree = build_spanning_tree(net)
+        if use_oracle_knowledge:
+            knowledge = oracle_knowledge(instance)
+        else:
+            knowledge = acquire_path_knowledge(
+                instance, net, tree=tree, seed=seed)
 
-    short = short_detour_lengths(instance, net, knowledge, zeta)
-    long_ = long_detour_lengths(
-        instance, net, tree, knowledge, zeta,
-        landmarks=landmarks, seed=seed + 1, landmark_c=landmark_c)
+        short = short_detour_lengths(instance, net, knowledge, zeta)
+        long_ = long_detour_lengths(
+            instance, net, tree, knowledge, zeta,
+            landmarks=landmarks, seed=seed + 1, landmark_c=landmark_c)
 
-    lengths = [min(a, b) for a, b in zip(short, long_)]
+        lengths = [min(a, b) for a, b in zip(short, long_)]
     report = RPathsReport(
         instance_name=instance.name,
         lengths=[x if x < INF else INF for x in lengths],

@@ -207,8 +207,7 @@ def finish_distance_tables(
             # shifts exact Fraction lengths (2 words each), so any
             # non-int value sends the whole shift down the message
             # path.
-            if kernels.vector_enabled(net) and all(
-                    type(v) is int for row in n_at_vertex for v in row):
+            if kernels.n_shift_vector_applicable(net, n_at_vertex):
                 kernels.charge_uniform_rounds(
                     net, k, k * h, kernels.N_SHIFT_MESSAGE_WORDS,
                     path[1:h + 1], path[:h])

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .. import telemetry
 from ..congest.broadcast import global_min
 from ..congest.spanning_tree import (
     SpanningTree,
@@ -53,26 +54,31 @@ def solve_two_sisp(
     The aggregation genuinely runs on the same ledger, so the reported
     round count covers the full Corollary 6.2 pipeline.
     """
-    report = solve_rpaths(
-        instance, zeta=zeta, seed=seed, landmarks=landmarks,
-        landmark_c=landmark_c, use_oracle_knowledge=use_oracle_knowledge,
-        fabric=fabric)
-    # Re-create the network topology on the same ledger for the final
-    # aggregation (solve_rpaths owns its network; the O(D) tree setup is
-    # what the corollary's reduction pays).  The solver already built
-    # the BFS tree of this very topology, so reuse it and replay the
-    # identical flood charges instead of re-running the construction.
-    net = instance.build_network(fabric=fabric)
-    net.ledger = report.ledger
-    tree = report.extras.get("tree")
-    if isinstance(tree, SpanningTree) and len(tree.parent) == net.n:
-        replay_spanning_tree_charges(net, tree, phase="2sisp-tree")
-    else:  # pragma: no cover - defensive (reports always carry a tree)
-        tree = build_spanning_tree(net, phase="2sisp-tree")
-    values = {
-        instance.path[i]: report.lengths[i]
-        for i in range(instance.hop_count)
-    }
-    with net.ledger.phase("2sisp-aggregate(C6.2)"):
-        best = global_min(net, tree, values, identity=INF)
+    with telemetry.span("solve/two-sisp", instance=instance.name,
+                        n=instance.n, fabric=fabric) as sp:
+        report = solve_rpaths(
+            instance, zeta=zeta, seed=seed, landmarks=landmarks,
+            landmark_c=landmark_c,
+            use_oracle_knowledge=use_oracle_knowledge,
+            fabric=fabric)
+        sp.set_ledger(report.ledger, fresh=True)
+        # Re-create the network topology on the same ledger for the
+        # final aggregation (solve_rpaths owns its network; the O(D)
+        # tree setup is what the corollary's reduction pays).  The
+        # solver already built the BFS tree of this very topology, so
+        # reuse it and replay the identical flood charges instead of
+        # re-running the construction.
+        net = instance.build_network(fabric=fabric)
+        net.ledger = report.ledger
+        tree = report.extras.get("tree")
+        if isinstance(tree, SpanningTree) and len(tree.parent) == net.n:
+            replay_spanning_tree_charges(net, tree, phase="2sisp-tree")
+        else:  # pragma: no cover - defensive (reports carry a tree)
+            tree = build_spanning_tree(net, phase="2sisp-tree")
+        values = {
+            instance.path[i]: report.lengths[i]
+            for i in range(instance.hop_count)
+        }
+        with net.ledger.phase("2sisp-aggregate(C6.2)"):
+            best = global_min(net, tree, values, identity=INF)
     return TwoSispReport(length=min(best, INF), rpaths=report)

@@ -25,6 +25,8 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import telemetry
+from ..telemetry import counters as _counters
 from .results import (
     STATUS_ERROR,
     STATUS_OK,
@@ -64,6 +66,9 @@ def execute_cell(spec: CellSpec,
 
     if timeout is not None and timeout <= 0:
         timeout = None  # non-positive means "no limit", not "cancel"
+    # Worker processes opt into tracing through the inherited env var;
+    # in-process runs are a no-op when tracing is already configured.
+    telemetry.maybe_enable_from_env()
     start = time.perf_counter()
     old_handler = None
     old_timer = (0.0, 0.0)
@@ -77,8 +82,10 @@ def execute_cell(spec: CellSpec,
             # parent-side backstop.
             use_alarm = False
     try:
-        scen = get_scenario(spec.scenario)
-        metrics = scen.run_cell(spec.params_dict, spec.seed)
+        with telemetry.span(f"cell/{spec.scenario}",
+                            params=spec.params_dict, seed=spec.seed):
+            scen = get_scenario(spec.scenario)
+            metrics = scen.run_cell(spec.params_dict, spec.seed)
         status, error = STATUS_OK, ""
     except _CellTimeout:
         metrics, status = {}, STATUS_TIMEOUT
@@ -92,13 +99,22 @@ def execute_cell(spec: CellSpec,
             # timer), not just cancel ours.
             signal.setitimer(signal.ITIMER_REAL, *old_timer)
             signal.signal(signal.SIGALRM, old_handler)
+    wall = time.perf_counter() - start
+    _counters.registry.inc("repro_executor_cells_total",
+                           scenario=spec.scenario, status=status)
+    _counters.registry.observe("repro_executor_cell_seconds", wall,
+                               scenario=spec.scenario)
+    # Each flush appends this process's finished spans (and a counters
+    # snapshot) to its per-pid sink file, so worker telemetry survives
+    # pool teardown even when the process is later reused or killed.
+    telemetry.flush()
     return CellResult(
         scenario=spec.scenario,
         params=spec.params_dict,
         seed=spec.seed,
         status=status,
         metrics=dict(metrics),
-        wall_time=time.perf_counter() - start,
+        wall_time=wall,
         error=error,
     )
 
@@ -138,18 +154,22 @@ def pool_map(
             for idx, payload in enumerate(payloads)
         }
         for future, idx in futures.items():
+            outcome = "ok"
+            wait_start = time.perf_counter()
             try:
                 result = future.result(timeout=backstop)
             except FutureTimeoutError:
                 # Keep not-yet-started items from piling onto a stuck
                 # pool; the running worker itself cannot be cancelled.
                 pool.shutdown(wait=False, cancel_futures=True)
+                outcome = POOL_TIMEOUT
                 if fallback is None:
                     raise
                 result = fallback(
                     payloads[idx], POOL_TIMEOUT,
                     f"worker exceeded {backstop:.1f}s backstop")
             except CancelledError:
+                outcome = POOL_CANCELLED
                 if fallback is None:
                     raise
                 result = fallback(
@@ -157,10 +177,17 @@ def pool_map(
                     "cancelled after an earlier item exceeded the "
                     "parent backstop")
             except Exception as exc:  # noqa: BLE001 - pool failure
+                outcome = POOL_ERROR
                 if fallback is None:
                     raise
                 result = fallback(payloads[idx], POOL_ERROR,
                                   f"{type(exc).__name__}: {exc}")
+            finally:
+                _counters.registry.inc("repro_pool_items_total",
+                                       outcome=outcome)
+                _counters.registry.observe(
+                    "repro_pool_wait_seconds",
+                    time.perf_counter() - wait_start)
             if progress is not None:
                 progress(result)
             results[idx] = result

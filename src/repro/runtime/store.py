@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import counters as _counters
 from .results import (
     CellResult,
     CellSpec,
@@ -89,13 +90,19 @@ class ResultStore:
         """
         path = self._object_path(key)
         if not path.is_file():
+            _counters.registry.inc("repro_store_lookups_total",
+                                   outcome="miss")
             return None
         try:
             result = CellResult.from_json(path.read_text())
         except (ValueError, KeyError):
             path.unlink(missing_ok=True)
+            _counters.registry.inc("repro_store_lookups_total",
+                                   outcome="corrupt")
             return None
         result.cached = True
+        _counters.registry.inc("repro_store_lookups_total",
+                               outcome="hit")
         return result
 
     def put(self, result: CellResult) -> pathlib.Path:
@@ -111,6 +118,7 @@ class ResultStore:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(result.to_json() + "\n")
         os.replace(tmp, path)
+        _counters.registry.inc("repro_store_puts_total")
         return path
 
     def __len__(self) -> int:
@@ -145,6 +153,28 @@ class ResultStore:
     @staticmethod
     def load_run(path: os.PathLike) -> List[CellResult]:
         return results_from_jsonl(pathlib.Path(path).read_text())
+
+    # -- trace sinks -------------------------------------------------------
+
+    def new_trace_dir(self, label: str) -> pathlib.Path:
+        """Create a fresh trace sink ``traces/<stamp>-<label>/``.
+
+        Trace artifacts live next to the objects/runs they describe so
+        one ``--cache-dir`` carries the whole provenance story.
+        """
+        traces_root = self.root / "traces"
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        suffix = 0
+        while True:
+            name = (f"{stamp}-{label}" if suffix == 0
+                    else f"{stamp}-{label}.{suffix}")
+            path = traces_root / name
+            try:
+                path.mkdir(parents=True, exist_ok=False)
+            except FileExistsError:
+                suffix += 1
+                continue
+            return path
 
 
 # -- regression diffs --------------------------------------------------------

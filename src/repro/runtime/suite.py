@@ -15,9 +15,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import telemetry
 from .executor import run_cells
 from .registry import all_scenarios, get_scenario
-from .results import CellResult, CellSpec
+from .results import CellResult, CellSpec, canonical_params
 from .store import ResultStore, cell_key, code_version
 
 
@@ -32,6 +33,7 @@ class SuiteReport:
     jobs: int
     manifest_path: Optional[pathlib.Path] = None
     code_version: str = ""
+    trace_dir: Optional[pathlib.Path] = None
 
     @property
     def ok(self) -> bool:
@@ -78,6 +80,21 @@ class SuiteReport:
                 f"{sum(c.wall_time for c in cells):.2f}s",
             ])
         return rows
+
+    def duration_rows(self, top: int = 10) -> List[List[object]]:
+        """The ``top`` slowest cells by wall time (slowest first)."""
+        cells = sorted(self.results, key=lambda c: c.wall_time,
+                       reverse=True)[:max(0, top)]
+        return [
+            [
+                cell.scenario,
+                canonical_params(cell.params),
+                cell.seed,
+                "cached" if cell.cached else cell.status,
+                f"{cell.wall_time:.3f}s",
+            ]
+            for cell in cells
+        ]
 
 
 def expand_cells(
@@ -127,38 +144,59 @@ def run_suite(
     record: bool = True,
     progress: Optional[Callable[[CellResult], None]] = None,
     fabric: Optional[str] = None,
+    trace: bool = False,
 ) -> SuiteReport:
     """Run (or serve from cache) every cell of the selected scenarios.
 
     ``fabric`` forces every cell onto one exchange engine (see
     :func:`expand_cells`); scenarios read it from their parameter
-    point and thread it through to the solvers.
+    point and thread it through to the solvers.  ``trace`` turns on
+    span recording for the invocation and writes the JSONL trace
+    artifact into a fresh ``traces/`` directory of the store
+    (``SuiteReport.trace_dir``); worker processes inherit the sink via
+    the environment and flush their own per-pid files.
     """
     start = time.perf_counter()
     store = store if store is not None else ResultStore()
     version = code_version()
-    specs = expand_cells(names, smoke=smoke, fabric=fabric)
-    keys = [cell_key(spec, version) for spec in specs]
 
-    results: List[Optional[CellResult]] = [None] * len(specs)
-    missing: List[int] = []
-    for idx, key in enumerate(keys):
-        cached = store.get(key) if use_cache else None
-        if cached is not None:
-            results[idx] = cached
-            if progress is not None:
-                progress(cached)
-        else:
-            missing.append(idx)
+    trace_sink: Optional[pathlib.Path] = None
+    if trace:
+        trace_sink = store.new_trace_dir(label)
+        telemetry.enable_tracing(trace_sink)
+        telemetry.write_meta(trace_sink, label=label,
+                             scenarios=list(names) if names else "all",
+                             smoke=smoke, fabric=fabric, jobs=jobs,
+                             code_version=version)
+    try:
+        specs = expand_cells(names, smoke=smoke, fabric=fabric)
+        keys = [cell_key(spec, version) for spec in specs]
 
-    fresh = run_cells(
-        [specs[idx] for idx in missing],
-        jobs=jobs, timeout=timeout, progress=progress)
-    for idx, result in zip(missing, fresh):
-        result.key = keys[idx]
-        results[idx] = result
-        if use_cache and result.ok:
-            store.put(result)
+        results: List[Optional[CellResult]] = [None] * len(specs)
+        missing: List[int] = []
+        with telemetry.span("suite/run", label=label, smoke=smoke,
+                            fabric=fabric, cells=len(specs)):
+            for idx, key in enumerate(keys):
+                cached = store.get(key) if use_cache else None
+                if cached is not None:
+                    results[idx] = cached
+                    if progress is not None:
+                        progress(cached)
+                else:
+                    missing.append(idx)
+
+            fresh = run_cells(
+                [specs[idx] for idx in missing],
+                jobs=jobs, timeout=timeout, progress=progress)
+            for idx, result in zip(missing, fresh):
+                result.key = keys[idx]
+                results[idx] = result
+                if use_cache and result.ok:
+                    store.put(result)
+    finally:
+        if trace:
+            telemetry.flush(trace_sink)
+            telemetry.disable_tracing()
 
     final = [r for r in results if r is not None]
     report = SuiteReport(
@@ -168,14 +206,19 @@ def run_suite(
         wall_time=time.perf_counter() - start,
         jobs=jobs,
         code_version=version,
+        trace_dir=trace_sink,
     )
     if record:
         report.manifest_path = store.record_run(label, final)
     return report
 
 
-def format_suite_report(report: SuiteReport, title: str = "") -> str:
-    """Rendered per-scenario summary table plus the cache line."""
+def format_suite_report(report: SuiteReport, title: str = "",
+                        durations: int = 0) -> str:
+    """Rendered per-scenario summary table plus the cache line.
+
+    ``durations > 0`` appends a table of the N slowest cells.
+    """
     from ..analysis.tables import format_table
 
     table = format_table(
@@ -191,6 +234,14 @@ def format_suite_report(report: SuiteReport, title: str = "") -> str:
         f"jobs: {report.jobs}  wall: {report.wall_time:.2f}s  "
         f"code: {report.code_version}",
     ]
+    if durations > 0 and report.results:
+        lines.append(format_table(
+            ["scenario", "params", "seed", "status", "wall"],
+            report.duration_rows(durations),
+            title=f"slowest {min(durations, len(report.results))} cells",
+        ))
     if report.manifest_path is not None:
         lines.append(f"manifest: {report.manifest_path}")
+    if report.trace_dir is not None:
+        lines.append(f"trace: {report.trace_dir}")
     return "\n".join(lines)

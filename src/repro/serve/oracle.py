@@ -35,8 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..congest.words import INF, clamp_inf
 from ..graphs.instance import RPathsInstance
+from ..telemetry import counters as _counters
 from .queries import (
     FALLBACK_CACHED,
     FALLBACK_SOLVE,
@@ -49,6 +51,16 @@ from .queries import (
 
 #: Oracle construction back-ends.
 SOLVERS = ("theorem1", "centralized")
+
+#: Per-answer counters, pre-bound per kind: ``query()`` hits answer in
+#: a few µs, so the per-call label formatting of ``registry.inc`` is
+#: measurable there (it halves oracle-hit queries/sec).
+_ANSWER_COUNTERS = {
+    kind: _counters.bound_counter("repro_serve_oracle_answers_total",
+                                  kind=kind)
+    for kind in (HIT_PATH_EDGE, HIT_OFF_PATH,
+                 FALLBACK_SOLVE, FALLBACK_CACHED)
+}
 
 
 @dataclass
@@ -119,18 +131,24 @@ class ReplacementPathOracle:
               seed: int = 0, fabric: str = "fast",
               **solver_kwargs) -> "ReplacementPathOracle":
         """Run the chosen solver once and capture its |st ⋄ e| table."""
-        if solver == "theorem1":
-            from ..core.rpaths import solve_rpaths
-            report = solve_rpaths(instance, seed=seed, fabric=fabric,
-                                  **solver_kwargs)
-            return cls(instance=instance,
-                       lengths=[clamp_inf(x) for x in report.lengths],
-                       solver=solver, build_rounds=report.rounds)
-        if solver == "centralized":
-            from ..baselines.centralized import replacement_lengths
-            return cls(instance=instance,
-                       lengths=replacement_lengths(instance),
-                       solver=solver, build_rounds=0)
+        with telemetry.span("serve/oracle-build",
+                            instance=instance.name, solver=solver,
+                            fabric=fabric):
+            _counters.registry.inc("repro_serve_oracle_builds_total",
+                                   solver=solver)
+            if solver == "theorem1":
+                from ..core.rpaths import solve_rpaths
+                report = solve_rpaths(instance, seed=seed,
+                                      fabric=fabric, **solver_kwargs)
+                return cls(
+                    instance=instance,
+                    lengths=[clamp_inf(x) for x in report.lengths],
+                    solver=solver, build_rounds=report.rounds)
+            if solver == "centralized":
+                from ..baselines.centralized import replacement_lengths
+                return cls(instance=instance,
+                           lengths=replacement_lengths(instance),
+                           solver=solver, build_rounds=0)
         raise ValueError(
             f"unknown oracle solver {solver!r}; expected one of {SOLVERS}")
 
@@ -150,10 +168,12 @@ class ReplacementPathOracle:
             idx = self._edge_index.get(edge)
             if idx is not None:
                 self.stats.path_hits += 1
+                _ANSWER_COUNTERS[HIT_PATH_EDGE].inc()
                 return QueryAnswer(q, self.lengths[idx], HIT_PATH_EDGE)
             # e not on P: P survives the deletion, and deleting an edge
             # never shortens distances, so d(s, t, e) = |P| exactly.
             self.stats.off_path_hits += 1
+            _ANSWER_COUNTERS[HIT_OFF_PATH].inc()
             return QueryAnswer(q, self._path_length, HIT_OFF_PATH)
         key = (s, edge)
         dist = self._fallback.get(key)
@@ -166,6 +186,7 @@ class ReplacementPathOracle:
         else:
             self.stats.fallback_cached += 1
             kind = FALLBACK_CACHED
+        _ANSWER_COUNTERS[kind].inc()
         return QueryAnswer(q, clamp_inf(dist[t]), kind)
 
     def answer(self, query: Query) -> QueryAnswer:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..congest.multisource import multi_source_hop_bfs
 from ..congest.words import INF
 from .oracle import ReplacementPathOracle
@@ -105,41 +106,48 @@ class BatchPlanner:
         rounds_before = (self._net.ledger.rounds
                          if self._net is not None else 0)
 
-        # Pass 1: O(1) oracle answers and already-memoized fallbacks.
-        # ``groups`` collects what genuinely needs new solves.
-        groups: Dict[Edge, Dict[int, List[int]]] = {}
-        for idx, q in enumerate(queries):
-            edge = (int(q.edge[0]), int(q.edge[1]))
-            if ((q.s == inst.s and q.t == inst.t)
-                    or self.oracle.fallback_cached_for(q.s, edge)
-                    or inst.weighted):
-                answers[idx] = self.oracle.query(
-                    q.s, q.t, edge, instance_key=q.instance)
-            else:
-                groups.setdefault(edge, {}).setdefault(
-                    q.s, []).append(idx)
+        with telemetry.span("serve/plan-batch",
+                            instance=inst.name,
+                            queries=len(queries)) as sp:
+            # Pass 1: O(1) oracle answers and already-memoized
+            # fallbacks.  ``groups`` collects what genuinely needs new
+            # solves.
+            groups: Dict[Edge, Dict[int, List[int]]] = {}
+            for idx, q in enumerate(queries):
+                edge = (int(q.edge[0]), int(q.edge[1]))
+                if ((q.s == inst.s and q.t == inst.t)
+                        or self.oracle.fallback_cached_for(q.s, edge)
+                        or inst.weighted):
+                    answers[idx] = self.oracle.query(
+                        q.s, q.t, edge, instance_key=q.instance)
+                else:
+                    groups.setdefault(edge, {}).setdefault(
+                        q.s, []).append(idx)
 
-        # Pass 2: one k-source solve per (failed edge, source chunk).
-        net = self._network() if groups else None
-        for edge, by_source in sorted(groups.items()):
-            report.groups += 1
-            sources = sorted(by_source)
-            for lo in range(0, len(sources), self.max_group):
-                chunk = sources[lo:lo + self.max_group]
-                dist = multi_source_hop_bfs(
-                    net, chunk, hop_limit=inst.n,
-                    avoid_edges=frozenset([edge]),
-                    phase=f"serve-batch({edge[0]},{edge[1]})")
-                report.batch_solves += 1
-                for rank, s in enumerate(chunk):
-                    self.oracle.seed_fallback(s, edge, dist[rank])
-                    for idx in by_source[s]:
-                        q = queries[idx]
-                        length = dist[rank][q.t]
-                        answers[idx] = QueryAnswer(
-                            q, INF if length >= INF else length,
-                            BATCHED_SOLVE)
-                        report.batched_queries += 1
+            # Pass 2: one k-source solve per (failed edge, source
+            # chunk).
+            net = self._network() if groups else None
+            if net is not None:
+                sp.set_ledger(net.ledger)
+            for edge, by_source in sorted(groups.items()):
+                report.groups += 1
+                sources = sorted(by_source)
+                for lo in range(0, len(sources), self.max_group):
+                    chunk = sources[lo:lo + self.max_group]
+                    dist = multi_source_hop_bfs(
+                        net, chunk, hop_limit=inst.n,
+                        avoid_edges=frozenset([edge]),
+                        phase=f"serve-batch({edge[0]},{edge[1]})")
+                    report.batch_solves += 1
+                    for rank, s in enumerate(chunk):
+                        self.oracle.seed_fallback(s, edge, dist[rank])
+                        for idx in by_source[s]:
+                            q = queries[idx]
+                            length = dist[rank][q.t]
+                            answers[idx] = QueryAnswer(
+                                q, INF if length >= INF else length,
+                                BATCHED_SOLVE)
+                            report.batched_queries += 1
 
         final = [a for a in answers if a is not None]
         assert len(final) == len(queries)

@@ -34,8 +34,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..graphs.instance import RPathsInstance
 from ..runtime.executor import default_jobs, pool_map
+from ..telemetry import counters as _counters
 from ..runtime.results import CellResult, CellSpec
 from ..runtime.store import ResultStore, cell_key
 from .oracle import ReplacementPathOracle
@@ -147,6 +149,7 @@ class OracleShard:
             instance, cached.metrics)
         if oracle is not None:
             self.stats.spill_loads += 1
+            _counters.registry.inc("repro_serve_spill_total", op="load")
         return oracle
 
     def _spill(self, key: str, oracle: ReplacementPathOracle) -> None:
@@ -161,6 +164,7 @@ class OracleShard:
         )
         self.store.put(result)
         self.stats.spill_saves += 1
+        _counters.registry.inc("repro_serve_spill_total", op="save")
 
     def planner_for(self, key: str) -> BatchPlanner:
         """The hot planner for ``key`` (LRU → spill → build)."""
@@ -168,7 +172,10 @@ class OracleShard:
         if planner is not None:
             self._planners.move_to_end(key)
             self.stats.lru_hits += 1
+            _counters.registry.inc("repro_serve_lru_total",
+                                   outcome="hit")
             return planner
+        _counters.registry.inc("repro_serve_lru_total", outcome="miss")
         try:
             instance = self.instances[key]
         except KeyError:
@@ -191,6 +198,7 @@ class OracleShard:
         while len(self._planners) > self.capacity:
             self._planners.popitem(last=False)
             self.stats.evictions += 1
+            _counters.registry.inc("repro_serve_evictions_total")
         return planner
 
     def oracle_for(self, key: str) -> ReplacementPathOracle:
@@ -219,16 +227,21 @@ class OracleShard:
         for idx, q in enumerate(queries):
             by_key.setdefault(q.instance, []).append(idx)
         answers: List[Optional[QueryAnswer]] = [None] * len(queries)
-        for key, indices in by_key.items():
-            planner = self.planner_for(key)
-            batch, report = planner.answer_batch(
-                [queries[i] for i in indices])
-            for i, answer in zip(indices, batch):
-                answers[i] = answer
-            self.stats.batch_solves += report.batch_solves
-            self.stats.solves_saved += report.solves_saved
-            self.stats.rounds += report.rounds
+        with telemetry.span("serve/answer-batch", shard=self.shard_id,
+                            queries=len(queries),
+                            instances=len(by_key)):
+            for key, indices in by_key.items():
+                planner = self.planner_for(key)
+                batch, report = planner.answer_batch(
+                    [queries[i] for i in indices])
+                for i, answer in zip(indices, batch):
+                    answers[i] = answer
+                self.stats.batch_solves += report.batch_solves
+                self.stats.solves_saved += report.solves_saved
+                self.stats.rounds += report.rounds
         self.stats.queries += len(queries)
+        _counters.registry.inc("repro_serve_queries_total",
+                               len(queries))
         return [a for a in answers if a is not None]
 
 
@@ -327,9 +340,51 @@ class ShardedQueryService:
     def query(self, instance_key: str, s: int, t: int,
               edge: Tuple[int, int]) -> QueryAnswer:
         """One-off query (still batch-planned, batch of one)."""
-        [answer] = self.shard_for(instance_key).answer_batch(
-            [Query(s=s, t=t, edge=edge, instance=instance_key)])
+        with telemetry.span("serve/query", instance=instance_key):
+            [answer] = self.shard_for(instance_key).answer_batch(
+                [Query(s=s, t=t, edge=edge, instance=instance_key)])
         return answer
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe service snapshot: shards, totals, and counters.
+
+        The ``counters`` section is the process metrics registry (LRU
+        probes, spill traffic, kernel dispatch, store lookups …), so
+        one snapshot answers both "what did the service do" and "how
+        did the layers below behave while doing it".
+        """
+        totals = ShardStats(shard_id=-1)
+        for shard in self._shards:
+            totals.merge(shard.stats)
+        return {
+            "shards": [
+                {"shard_id": shard.shard_id,
+                 "instances": len(shard.instances),
+                 "hot_oracles": len(shard._planners),
+                 **shard.stats.as_metrics()}
+                for shard in self._shards
+            ],
+            "totals": totals.as_metrics(),
+            "counters": _counters.snapshot_counters(),
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of the service + registry.
+
+        Shard lifetime stats are published as per-shard gauges next to
+        the registry's own series.
+        """
+        for shard in self._shards:
+            labels = {"shard": str(shard.shard_id)}
+            _counters.registry.set_gauge(
+                "repro_serve_shard_hot_oracles",
+                len(shard._planners), **labels)
+            for name, value in shard.stats.as_metrics().items():
+                _counters.registry.set_gauge(
+                    f"repro_serve_shard_{name}", value, **labels)
+        return _counters.exposition()
 
     def _partition(self, queries: Sequence[Query],
                    ) -> Dict[int, List[int]]:
@@ -415,6 +470,7 @@ def _portable_instance(instance: RPathsInstance) -> RPathsInstance:
 
 def _shard_worker(payload: Dict[str, object]):
     """Rebuild one shard in the worker and answer its slice."""
+    telemetry.maybe_enable_from_env()
     store_root = payload["store_root"]
     shard = OracleShard(
         shard_id=int(payload["shard_id"]),
@@ -429,5 +485,6 @@ def _shard_worker(payload: Dict[str, object]):
         shard.add_instance(inst)
     answers = shard.answer_batch(payload["queries"])
     stats = shard.stats.as_metrics()
+    telemetry.flush()
     return ([a.length for a in answers], [a.kind for a in answers],
             stats)

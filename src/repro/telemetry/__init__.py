@@ -1,0 +1,72 @@
+"""``repro.telemetry`` — spans, counters, and trace tooling.
+
+A zero-dependency observability layer threaded through every tier of
+the repo (solver cores, fabric kernels, runtime executor/store, serve
+shards):
+
+* :mod:`~repro.telemetry.trace` — contextvar-based hierarchical spans
+  recording wall time joined with :class:`~repro.congest.metrics.
+  RoundLedger` deltas; off by default, no-op guard when disabled.
+* :mod:`~repro.telemetry.counters` — fork-safe process-local registry
+  of labeled counters/gauges/summaries with JSON and Prometheus-text
+  exports.
+* :mod:`~repro.telemetry.dispatch` — kernel dispatch accounting
+  (vector hits vs message-path fallbacks) against a closed
+  fallback-reason enum that CI enforces.
+* :mod:`~repro.telemetry.sink` — append-only JSONL trace files, one
+  per process, schema-versioned.
+* :mod:`~repro.telemetry.tooling` — the ``repro trace summary`` /
+  ``repro trace diff`` aggregation and rendering.
+
+Quickstart::
+
+    from repro import telemetry
+    telemetry.enable_tracing("/tmp/trace")
+    ...  # any solver / suite / serve work
+    telemetry.flush()
+
+    python -m repro trace summary /tmp/trace
+"""
+
+from .counters import (  # noqa: F401
+    MetricsRegistry,
+    exposition,
+    merge_counter_snapshots,
+    registry,
+    snapshot_counters,
+)
+from .dispatch import (  # noqa: F401
+    DISPATCH_COUNTER,
+    KNOWN_KERNELS,
+    KNOWN_REASONS,
+    record_fallback,
+    record_vector_hit,
+    unknown_reasons,
+)
+from .sink import (  # noqa: F401
+    SCHEMA,
+    latest_trace_dir,
+    read_trace,
+    write_meta,
+)
+from .tooling import (  # noqa: F401
+    TraceDiff,
+    TraceSummary,
+    diff_summaries,
+    format_diff,
+    format_summary,
+    load_summary,
+    summarize,
+)
+from .trace import (  # noqa: F401
+    TRACE_DIR_ENV,
+    Span,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    flush,
+    maybe_enable_from_env,
+    span,
+    trace_dir,
+    tracing_enabled,
+)

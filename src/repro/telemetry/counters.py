@@ -1,0 +1,257 @@
+"""Process-local metrics registry: counters, gauges, summaries.
+
+One global :class:`MetricsRegistry` (module-level :data:`registry`)
+collects named, labeled counters from every instrumented layer:
+
+* kernel dispatch outcomes (``repro_kernel_dispatch_total``, see
+  :mod:`repro.telemetry.dispatch`),
+* serve-tier LRU / spill / oracle-build events,
+* result-store hits / misses / corrupt-object drops,
+* executor cell outcomes and latency summaries.
+
+The registry is **fork-safe**: series are keyed by pid, and the first
+touch after a fork resets the inherited state, so a ``pool_map`` worker
+never double-reports the parent's counts (and the parent never sees a
+worker's — workers export their own snapshot through the trace sink or
+their return values).
+
+Exports: :meth:`MetricsRegistry.snapshot` (JSON-safe dict, used by the
+trace sink and ``ShardedQueryService.stats()``) and
+:meth:`MetricsRegistry.exposition` (Prometheus text format, one
+``# TYPE`` block per metric).
+
+Increment cost is two dict lookups; the registry is always on — unlike
+spans there is no enable switch to check, because the counted events
+(one per kernel dispatch, LRU probe, or cell) are orders of magnitude
+rarer than the work they annotate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_name(name: str, labels: LabelItems) -> str:
+    """Prometheus-style series key: ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_series(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`series_name` (for snapshot consumers)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
+
+class MetricsRegistry:
+    """Named, labeled counters / gauges / summaries for one process."""
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        #: (name, labels) -> numeric value.
+        self._counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+        #: (name, labels) -> [count, sum, min, max].
+        self._summaries: Dict[Tuple[str, LabelItems], List[float]] = {}
+
+    def _check_fork(self) -> None:
+        pid = os.getpid()
+        if pid != self._pid:
+            self._pid = pid
+            self._counters = {}
+            self._gauges = {}
+            self._summaries = {}
+
+    # -- writing -------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels) -> None:
+        self._check_fork()
+        key = (name, _label_items(labels))
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self._check_fork()
+        self._gauges[(name, _label_items(labels))] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one sample into a count/sum/min/max summary."""
+        self._check_fork()
+        key = (name, _label_items(labels))
+        entry = self._summaries.get(key)
+        if entry is None:
+            self._summaries[key] = [1, value, value, value]
+        else:
+            entry[0] += 1
+            entry[1] += value
+            if value < entry[2]:
+                entry[2] = value
+            if value > entry[3]:
+                entry[3] = value
+
+    def reset(self) -> None:
+        self._check_fork()
+        self._counters.clear()
+        self._gauges.clear()
+        self._summaries.clear()
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        self._check_fork()
+        return self._counters.get((name, _label_items(labels)), 0)
+
+    def counters_named(self, name: str) -> Dict[LabelItems, float]:
+        """All series of one counter, keyed by their label items."""
+        self._check_fork()
+        return {labels: v for (n, labels), v in self._counters.items()
+                if n == name}
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump: ``{"counters": {...}, "gauges": {...},
+        "summaries": {series: {count, sum, min, max}}}``."""
+        self._check_fork()
+        return {
+            "counters": {
+                series_name(n, labels): v
+                for (n, labels), v in sorted(self._counters.items())
+            },
+            "gauges": {
+                series_name(n, labels): v
+                for (n, labels), v in sorted(self._gauges.items())
+            },
+            "summaries": {
+                series_name(n, labels): {
+                    "count": entry[0], "sum": entry[1],
+                    "min": entry[2], "max": entry[3],
+                }
+                for (n, labels), entry in sorted(self._summaries.items())
+            },
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        self._check_fork()
+        lines: List[str] = []
+
+        def emit(kind: str,
+                 items: Iterable[Tuple[Tuple[str, LabelItems], float]],
+                 ) -> None:
+            seen = set()
+            for (name, labels), value in sorted(items):
+                if name not in seen:
+                    lines.append(f"# TYPE {name} {kind}")
+                    seen.add(name)
+                rendered = (f"{value:.9g}" if isinstance(value, float)
+                            else str(value))
+                lines.append(f"{series_name(name, labels)} {rendered}")
+
+        emit("counter", self._counters.items())
+        emit("gauge", self._gauges.items())
+        summary_points = []
+        for (name, labels), entry in self._summaries.items():
+            summary_points.append(((name + "_count", labels),
+                                   entry[0]))
+            summary_points.append(((name + "_sum", labels), entry[1]))
+            summary_points.append(((name + "_min", labels), entry[2]))
+            summary_points.append(((name + "_max", labels), entry[3]))
+        emit("gauge", summary_points)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class BoundCounter:
+    """One pre-resolved counter series: label sorting paid at bind time.
+
+    :meth:`MetricsRegistry.inc` costs ~1µs per call in label
+    normalization — negligible per kernel dispatch or LRU probe, but
+    measurable on per-query paths (the oracle O(1) hit answers in
+    ~3µs).  A bound counter freezes the ``(name, labels)`` key once
+    and increments in two dict operations.  Fork safety rides on the
+    registry's own pid check, so a bound counter created before a
+    fork stays valid in the child.
+    """
+
+    __slots__ = ("_registry", "_key")
+
+    def __init__(self, reg: MetricsRegistry, name: str,
+                 labels: Dict[str, str]) -> None:
+        self._registry = reg
+        self._key = (name, _label_items(labels))
+
+    def inc(self, amount: float = 1) -> None:
+        counters = self._registry._counters
+        key = self._key
+        counters[key] = counters.get(key, 0) + amount
+
+
+#: The process registry every instrumented layer writes into.
+registry = MetricsRegistry()
+
+# Forked children reset the default registry eagerly, so the
+# BoundCounter fast path may skip the per-call pid check.  (The lazy
+# _check_fork in every registry method stays as the portable fallback
+# — spawn-start children re-import this module fresh anyway.)
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython/Unix
+    os.register_at_fork(after_in_child=lambda: registry._check_fork())
+
+
+def bound_counter(name: str, **labels) -> BoundCounter:
+    """A :class:`BoundCounter` on the default registry (hot paths)."""
+    return BoundCounter(registry, name, labels)
+
+
+def merge_counter_snapshots(snapshots: Iterable[Dict[str, object]],
+                            ) -> Dict[str, float]:
+    """Sum the ``counters`` sections of several snapshots.
+
+    The trace tooling uses this to aggregate per-process counter events
+    (one per worker) into one run-wide view.
+    """
+    total: Dict[str, float] = {}
+    for snap in snapshots:
+        counters = snap.get("counters", snap)
+        if not isinstance(counters, dict):
+            continue
+        for key, value in counters.items():
+            if isinstance(value, (int, float)):
+                total[key] = total.get(key, 0) + value
+    return total
+
+
+def snapshot_counters() -> Dict[str, object]:
+    """Snapshot of the default registry (convenience)."""
+    return registry.snapshot()
+
+
+def exposition() -> str:
+    """Prometheus text exposition of the default registry."""
+    return registry.exposition()
+
+
+def get_registry(fresh: bool = False) -> MetricsRegistry:
+    if fresh:
+        registry.reset()
+    return registry
+
+
+def observe_optional(name: str, value: Optional[float],
+                     **labels) -> None:
+    """``observe`` that tolerates None (skipped sample)."""
+    if value is not None:
+        registry.observe(name, value, **labels)

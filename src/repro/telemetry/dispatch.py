@@ -1,0 +1,160 @@
+"""Kernel-dispatch accounting: vector hits vs message-path fallbacks.
+
+Every ``*_applicable`` predicate in :mod:`repro.congest.kernels` (and
+the ``OverflowError`` escape hatches at its dispatch sites) reports its
+outcome here, one event per kernel invocation:
+
+* ``outcome="vector"`` — the call ran on the array kernel;
+* ``outcome="fallback"`` — the call took the message path, with a
+  ``reason`` from the **closed enum** below.
+
+The enum *is* DESIGN.md's fallback matrix, enforced: CI's traced smoke
+step runs ``repro trace summary --check-reasons`` over the collected
+counter snapshots and fails on any reason outside
+:data:`KNOWN_REASONS` — so a new kernel gate cannot ship without
+registering (and documenting) its reason.  This is the groundwork for
+the planned declarative-dispatch refactor: the reasons enumerate
+exactly the constraint set a future dispatcher has to model.
+
+Counter shape::
+
+    repro_kernel_dispatch_total{kernel="hop_bfs",outcome="vector"}
+    repro_kernel_dispatch_total{kernel="hop_bfs",outcome="fallback",
+                                reason="non-functional-aux"}
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .counters import registry
+
+#: The dispatch counter name.
+DISPATCH_COUNTER = "repro_kernel_dispatch_total"
+
+#: Kernel identifiers (one per vectorized primitive).
+KERNEL_HOP_BFS = "hop_bfs"
+KERNEL_MULTISOURCE = "multisource"
+KERNEL_BROADCAST = "broadcast"
+KERNEL_CHAIN_FLOOD = "chain_flood"
+KERNEL_DP_SWEEP = "dp_sweep"
+KERNEL_PATH_SWEEPS = "path_sweeps"
+KERNEL_N_SHIFT = "n_shift"
+KERNEL_SPANNING_TREE = "spanning_tree"
+KERNEL_LANDMARK_COMPLETION = "landmark_completion"
+KERNEL_PAIRWISE_MIN_SUM = "pairwise_min_sum"
+
+KNOWN_KERNELS = frozenset({
+    KERNEL_HOP_BFS,
+    KERNEL_MULTISOURCE,
+    KERNEL_BROADCAST,
+    KERNEL_CHAIN_FLOOD,
+    KERNEL_DP_SWEEP,
+    KERNEL_PATH_SWEEPS,
+    KERNEL_N_SHIFT,
+    KERNEL_SPANNING_TREE,
+    KERNEL_LANDMARK_COMPLETION,
+    KERNEL_PAIRWISE_MIN_SUM,
+})
+
+# -- fallback reasons (the enforced enum) ------------------------------------
+
+#: The network does not run ``fabric="vector"`` at all — not a real
+#: fallback, but counted so vector coverage is measurable per run.
+REASON_FABRIC = "fabric-not-vector"
+#: NumPy could not be imported.
+REASON_NUMPY_MISSING = "numpy-missing"
+#: Per-link total recording (lower-bound cut analysis) needs genuine
+#: per-message routing.
+REASON_RECORD_LINK_TOTALS = "record-link-totals"
+#: Hop-BFS seeds whose auxiliary word is not a function of the index.
+REASON_NON_FUNCTIONAL_AUX = "non-functional-aux"
+#: Seed/table/init values outside the int64-safe range (or non-int).
+REASON_VALUE_RANGE = "value-out-of-int64"
+#: k-source key encoding ``d*k + rank`` would overflow int64.
+REASON_KEY_OVERFLOW = "key-encoding-overflow"
+#: A k-source BFS source is out of vertex range (the message path's
+#: error behavior must win).
+REASON_SOURCE_RANGE = "source-out-of-range"
+#: A delay function produced steps beyond int64 mid-plan.
+REASON_DELAY_OVERFLOW = "delay-overflow"
+#: A sweep task carries an opaque ``combine`` closure instead of a
+#: declarative ``local_min`` table.
+REASON_NON_DECLARATIVE = "non-declarative-task"
+#: Sweep start groups occupy overlapping link ranges.
+REASON_OVERLAPPING_GROUPS = "overlapping-groups"
+#: Duplicate sweep-task keys would alias engine results.
+REASON_DUPLICATE_KEYS = "duplicate-keys"
+
+KNOWN_REASONS = frozenset({
+    REASON_FABRIC,
+    REASON_NUMPY_MISSING,
+    REASON_RECORD_LINK_TOTALS,
+    REASON_NON_FUNCTIONAL_AUX,
+    REASON_VALUE_RANGE,
+    REASON_KEY_OVERFLOW,
+    REASON_SOURCE_RANGE,
+    REASON_DELAY_OVERFLOW,
+    REASON_NON_DECLARATIVE,
+    REASON_OVERLAPPING_GROUPS,
+    REASON_DUPLICATE_KEYS,
+})
+
+
+def record_vector_hit(kernel: str) -> None:
+    """Count one dispatch that ran on the array kernel."""
+    registry.inc(DISPATCH_COUNTER, kernel=kernel, outcome="vector")
+
+
+def record_fallback(kernel: str, reason: str) -> None:
+    """Count one dispatch that took the message path."""
+    registry.inc(DISPATCH_COUNTER, kernel=kernel, outcome="fallback",
+                 reason=reason)
+
+
+def accept(kernel: str) -> bool:
+    """Predicate helper: record a vector hit and return True."""
+    record_vector_hit(kernel)
+    return True
+
+
+def decline(kernel: str, reason: str) -> bool:
+    """Predicate helper: record a fallback and return False."""
+    record_fallback(kernel, reason)
+    return False
+
+
+def dispatch_rows(counters: Dict[str, float],
+                  ) -> List[Tuple[str, str, str, float]]:
+    """Decode a merged counters mapping into dispatch rows.
+
+    Returns ``(kernel, outcome, reason, count)`` tuples for every
+    :data:`DISPATCH_COUNTER` series found (reason is ``""`` for vector
+    hits).
+    """
+    from .counters import parse_series
+    rows: List[Tuple[str, str, str, float]] = []
+    for key, value in sorted(counters.items()):
+        name, labels = parse_series(key)
+        if name != DISPATCH_COUNTER:
+            continue
+        rows.append((labels.get("kernel", "?"),
+                     labels.get("outcome", "?"),
+                     labels.get("reason", ""), value))
+    return rows
+
+
+def unknown_reasons(counters: Dict[str, float]) -> List[str]:
+    """Fallback reasons (or kernels) outside the registered enums.
+
+    The CI gate: a non-empty return fails the traced smoke step.
+    """
+    bad: List[str] = []
+    for kernel, outcome, reason, _count in dispatch_rows(counters):
+        if kernel not in KNOWN_KERNELS:
+            bad.append(f"kernel:{kernel}")
+        if outcome == "fallback" and reason not in KNOWN_REASONS:
+            bad.append(f"reason:{reason or '<empty>'}")
+        if outcome not in ("vector", "fallback"):
+            bad.append(f"outcome:{outcome}")
+    return sorted(set(bad))
