@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .. import telemetry
 from ..congest.metrics import RoundLedger
+from ..congest.network import resolve_fabric
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance
@@ -67,6 +68,7 @@ def solve_apx_rpaths(
     Unweighted instances are accepted too (every guarantee only
     tightens), which the cross-validation tests exploit.
     """
+    fabric = resolve_fabric(fabric)
     if zeta is None:
         zeta = default_zeta(instance.n)
 

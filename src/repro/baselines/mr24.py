@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..congest.broadcast import broadcast_messages
 from ..congest.metrics import RoundLedger
+from ..congest.network import resolve_fabric
 from ..congest.multisource import multi_source_hop_bfs
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF, clamp_inf
@@ -58,6 +59,7 @@ def solve_rpaths_mr24(
     fabric: str = "fast",
 ) -> MR24Report:
     """Run the MR24b-style algorithm (exact answers, h_st-heavy rounds)."""
+    fabric = resolve_fabric(fabric)
     if instance.weighted:
         raise ValueError("this baseline reproduces the unweighted MR24b "
                          "algorithm")

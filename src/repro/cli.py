@@ -30,6 +30,11 @@ trace
     per-phase wall time with ledger rounds and prints the
     fallback-reason histogram; ``trace diff`` compares two traces
     phase by phase.
+kernels
+    ``kernels list`` prints the primitive registry as the dispatch
+    table (primitive × fabric × declared constraints) that
+    ``repro.congest.dispatch`` executes; ``--json`` dumps the full
+    registry machine-readably.
 info
     Print the library version and the experiment index.
 """
@@ -424,6 +429,30 @@ def cmd_trace_diff(args) -> int:
     return 1 if diff.regressions(args.threshold) else 0
 
 
+def cmd_kernels_list(args) -> int:
+    from .congest.dispatch import (
+        GLOBAL_GATES,
+        registry_json,
+        table_rows,
+    )
+    if args.json:
+        import json
+        print(json.dumps(registry_json(), indent=2, sort_keys=True))
+        return 0
+    print(format_table(
+        ["primitive", "lemma", "reference/fast/strict", "vector",
+         "vector constraints (fallback reasons)"],
+        table_rows(),
+        title="primitive dispatch table (repro.congest.dispatch)"))
+    gates = ", ".join(g.reason for g in GLOBAL_GATES)
+    print(f"global gates (checked first, every primitive): {gates}")
+    print("reference/fast/strict run the message engine atop their "
+          "exchange fabric; vector runs the array kernel when every "
+          "gate and constraint passes, else falls back to the message "
+          "engine counting the first failing constraint's reason.")
+    return 0
+
+
 def cmd_info(_args) -> int:
     from .runtime import scenario_names
     print(f"repro {__version__} — reproduction of 'Optimal Distributed "
@@ -490,8 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: one per CPU)")
     p_run.add_argument("--smoke", action="store_true",
                        help="tiny parameter points only (CI-sized)")
+    from .congest.network import FABRICS
     p_run.add_argument("--fabric", default=None,
-                       choices=["reference", "fast", "vector"],
+                       choices=list(FABRICS),
                        help="force every cell onto one exchange engine "
                             "(cached separately per fabric; default: "
                             "each scenario's own choice)")
@@ -612,6 +642,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_tdiff.add_argument("--json", action="store_true",
                          help="machine-readable JSON output")
     p_tdiff.set_defaults(func=cmd_trace_diff)
+
+    p_kernels = sub.add_parser(
+        "kernels", help="the primitive registry / dispatch table")
+    kernels_sub = p_kernels.add_subparsers(dest="kernels_command",
+                                           required=True)
+    p_klist = kernels_sub.add_parser(
+        "list", help="print the primitive x fabric dispatch table")
+    p_klist.add_argument("--json", action="store_true",
+                         help="machine-readable full registry dump")
+    p_klist.set_defaults(func=cmd_kernels_list)
 
     p_info = sub.add_parser("info", help="version and experiment map")
     p_info.set_defaults(func=cmd_info)

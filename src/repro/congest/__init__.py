@@ -13,6 +13,10 @@ environment:
   whole-frontier kernels for the round loops of the pruned hop-BFS,
   the k-source BFS, and the pipelined broadcast, bit-identical to the
   message engines in results and ledger accounting;
+* :mod:`~repro.congest.dispatch` — the declarative primitive registry
+  and the one :func:`~repro.congest.dispatch.dispatch` entry point
+  that routes each primitive call to its vector kernel or message
+  engine based on the registered constraints;
 * :class:`~repro.congest.metrics.RoundLedger` — round/message/congestion
   bookkeeping with named phases;
 * BFS primitives (:mod:`~repro.congest.bfs`), the k-source h-hop BFS of
@@ -30,10 +34,16 @@ from .errors import (
     RoundLimitExceededError,
     UnknownVertexError,
 )
+from .dispatch import check, dispatch, registry
 from .fastpath import FabricState, exchange_batch, exchange_reference
 from .kernels import vector_enabled
 from .metrics import PhaseStats, RoundLedger
-from .network import DEFAULT_BANDWIDTH_WORDS, FABRICS, CongestNetwork
+from .network import (
+    DEFAULT_BANDWIDTH_WORDS,
+    FABRICS,
+    CongestNetwork,
+    resolve_fabric,
+)
 from .topology import CSRTopology
 from .words import INF, clamp_inf, is_unreachable, words_of
 from .bfs import bfs_distances, bfs_tree, sssp_distances_weighted
@@ -74,14 +84,18 @@ __all__ = [
     "broadcast_messages",
     "broadcast_value",
     "build_spanning_tree",
+    "check",
     "clamp_inf",
     "convergecast",
+    "dispatch",
     "exchange_batch",
     "exchange_reference",
     "global_min",
     "is_unreachable",
     "multi_source_hop_bfs",
+    "registry",
     "replay_spanning_tree_charges",
+    "resolve_fabric",
     "run_path_sweeps",
     "sssp_distances_weighted",
     "vector_enabled",

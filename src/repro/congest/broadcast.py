@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from . import kernels
+from .dispatch import dispatch
 from .network import CongestNetwork
 from .spanning_tree import SpanningTree
 
@@ -46,9 +46,17 @@ def broadcast_messages(
     link, which the engine tracks.)
     """
     name = phase if phase is not None else "broadcast"
-    if kernels.broadcast_vector_applicable(net):
-        return kernels.broadcast_messages_vector(net, tree, messages,
-                                                 name)
+    return dispatch("broadcast", net, tree=tree, messages=messages,
+                    name=name)
+
+
+def _broadcast_message(
+    net: CongestNetwork,
+    tree: SpanningTree,
+    messages: Mapping[int, Sequence[Payload]],
+    name: str,
+) -> List[Tuple[int, Payload]]:
+    """The per-link FIFO round loop (the registry's fallback lane)."""
     tree_nbrs = [tree.tree_neighbors(v) for v in range(net.n)]
     exchange = net.exchange
     with net.ledger.phase(name):

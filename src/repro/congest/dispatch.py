@@ -1,0 +1,554 @@
+"""Declarative primitive registry + unified kernel dispatcher.
+
+Every CONGEST primitive the solver phases route through a fabric
+choice is registered here exactly once, as *data*: its message-engine
+implementation, its vector (array-kernel) implementation, the
+constraints under which the vector implementation is bit-identical to
+the message engines, and its ledger-charging contract.  One
+:func:`dispatch` entry point replaces the per-call-site ``if
+kernels.X_vector_applicable(...)`` branches that used to make up
+DESIGN.md's hand-maintained fallback matrix.
+
+The registry is the single source of truth for three consumers:
+
+* **dispatch** — :func:`dispatch` evaluates a primitive's constraints
+  in declared order and routes the call: all pass → the vector kernel
+  (counted as a ``vector`` hit); first failure → the message engine,
+  counted as a ``fallback`` whose reason *is* the failing constraint's
+  reason.  No hand-kept enum can drift from the checks.
+* **telemetry** — :func:`known_kernels` / :func:`known_reasons` derive
+  the legal counter label sets from the registered constraints (plus
+  escape hatches), which is what ``repro trace summary
+  --check-reasons`` enforces in CI.
+* **docs** — ``repro kernels list`` renders :func:`table_rows` /
+  :func:`registry_json`, so the dispatch table users read is the one
+  the dispatcher executes.
+
+Implementations are stored as dotted ``(module, attribute)``
+references and resolved lazily: the registry can therefore name
+message engines living in :mod:`repro.core` modules that themselves
+import this module, without an import cycle.
+
+Constraint evaluation order is the contract: the reported fallback
+reason is the *first* failing declared constraint (global fabric gates
+first, then per-call constraints in registration order).  Constraints
+may rely on their predecessors having passed — e.g. the hop-BFS
+functional-aux check hashes seed indices, which the preceding
+value-range constraint has already vouched for.
+
+Adding a kernel or backend is one registration here (see DESIGN.md's
+"Adding a kernel/backend" walkthrough): the dispatcher, the telemetry
+enums, the ``repro kernels list`` table, and the registry-parametrized
+force-fallback equivalence suite in ``tests/test_kernel_equivalence``
+all pick it up with no further code.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import (
+    Callable, Dict, List, Mapping, Optional, Tuple,
+)
+
+from ..telemetry import dispatch as _counters
+from . import kernels as _kernels
+
+#: A constraint check: ``check(net, call) -> bool`` (True = satisfied).
+CheckFn = Callable[[object, Mapping[str, object]], bool]
+
+#: A lazily-resolved implementation: (dotted module, attribute).
+ImplRef = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One declared applicability condition of a vector kernel.
+
+    ``reason`` is the fallback-reason counter label charged when this
+    constraint is the first to fail; ``description`` is what ``repro
+    kernels list`` prints for it.
+    """
+
+    reason: str
+    description: str
+    check: CheckFn
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One registered CONGEST primitive (a row of the dispatch table).
+
+    Attributes
+    ----------
+    name:
+        The kernel identifier used in dispatch counters.
+    title, lemma:
+        Human-readable row labels (``repro kernels list``).
+    message, vector:
+        Dotted references to the message-engine and array-kernel
+        implementations.  Both take ``(net, **call)`` with identical
+        keyword names and return identical values.
+    constraints:
+        Per-call constraints beyond :data:`GLOBAL_GATES`, evaluated in
+        order after them.
+    ledger:
+        The charging contract both implementations honor.
+    prepare:
+        Optional ``prepare(net, call) -> plan`` hook run after all
+        constraints pass and before the vector hit is counted; the
+        plan is passed to the vector implementation as ``plan=``.
+        Used for the overflow-prone send-plan builds: an
+        ``OverflowError`` here falls back with ``escape_reason``
+        before anything is charged.
+    escape_reason:
+        The fallback reason charged when ``prepare`` escapes.
+    """
+
+    name: str
+    title: str
+    lemma: str
+    message: ImplRef
+    vector: ImplRef
+    constraints: Tuple[Constraint, ...] = ()
+    ledger: str = ""
+    prepare: Optional[Callable] = None
+    escape_reason: Optional[str] = None
+    #: resolved-implementation cache (per-registration, lazy).
+    _cache: Dict[str, Callable] = field(default_factory=dict, repr=False,
+                                        compare=False)
+
+    def resolve(self, which: str) -> Callable:
+        impl = self._cache.get(which)
+        if impl is None:
+            module, attr = self.message if which == "message" else self.vector
+            impl = getattr(importlib.import_module(module), attr)
+            self._cache[which] = impl
+        return impl
+
+
+# -- global gates (shared head of every primitive's constraint list) ---------
+
+GLOBAL_GATES: Tuple[Constraint, ...] = (
+    Constraint(
+        _counters.REASON_FABRIC,
+        'network runs fabric="vector"',
+        lambda net, call: getattr(net, "fabric", None) == "vector",
+    ),
+    Constraint(
+        _counters.REASON_RECORD_LINK_TOTALS,
+        "per-link total recording off (cut analysis wants real routing)",
+        lambda net, call: not net.record_link_totals,
+    ),
+    Constraint(
+        _counters.REASON_NUMPY_MISSING,
+        "NumPy importable",
+        lambda net, call: _kernels.numpy_or_none() is not None,
+    ),
+)
+
+
+# -- per-call constraint checks ----------------------------------------------
+
+
+def _hop_bfs_values_ok(net, call) -> bool:
+    n = net.n
+    for u, value in call["seeds"].items():
+        idx, aux = value
+        if not isinstance(idx, int) or not isinstance(aux, int):
+            return False
+        if not (_kernels._fits_int64(idx) and _kernels._fits_int64(aux)
+                and 0 <= u < n):
+            return False
+    return True
+
+
+def _hop_bfs_aux_functional(net, call) -> bool:
+    aux_of: Dict[int, int] = {}
+    for idx, aux in call["seeds"].values():
+        if aux_of.setdefault(idx, aux) != aux:
+            return False
+    return True
+
+
+def _multisource_key_fits(net, call) -> bool:
+    hop_limit = call["hop_limit"]
+    k = len(call["sources"])
+    return (hop_limit >= 0
+            and (hop_limit + 2) * max(k, 1) < _kernels._INT64_SAFE)
+
+
+def _multisource_sources_ok(net, call) -> bool:
+    n = net.n
+    return all(isinstance(s, int) and 0 <= s < n
+               for s in call["sources"])
+
+
+def _chain_prefix_fits(net, call) -> bool:
+    return _kernels._fits_int64(call["prefix"][-1])
+
+
+def _dp_zeta_fits(net, call) -> bool:
+    return 0 <= call["zeta"] < _kernels._INT64_SAFE
+
+
+def _sweeps_declarative(net, call) -> bool:
+    return all(task.local_min is not None for task in call["tasks"])
+
+
+def _sweeps_values_ok(net, call) -> bool:
+    checked = set()
+    for task in call["tasks"]:
+        if type(task.init) is not int or not _kernels._fits_int64(task.init):
+            return False
+        local = task.local_min
+        if id(local) not in checked:
+            if not all(type(x) is int and _kernels._fits_int64(x)
+                       for x in local):
+                return False
+            checked.add(id(local))
+    return True
+
+
+def _sweeps_keys_distinct(net, call) -> bool:
+    seen = set()
+    for task in call["tasks"]:
+        if task.key in seen:
+            return False
+        seen.add(task.key)
+    return True
+
+
+def _sweeps_groups_disjoint(net, call) -> bool:
+    spans: Dict[int, Dict[int, List[int]]] = {1: {}, -1: {}}
+    for task in call["tasks"]:
+        if task.start == task.end:
+            continue
+        direction = 1 if task.end > task.start else -1
+        lo, hi = sorted((task.start, task.end))
+        span = spans[direction].get(task.start)
+        if span is None:
+            spans[direction][task.start] = [lo, hi]
+        else:
+            span[0] = min(span[0], lo)
+            span[1] = max(span[1], hi)
+    for groups in spans.values():
+        intervals = sorted(groups.values())
+        for (_, a_hi), (b_lo, _) in zip(intervals, intervals[1:]):
+            if a_hi > b_lo:
+                return False
+    return True
+
+
+def _n_shift_rows_int(net, call) -> bool:
+    return all(type(v) is int for row in call["rows"] for v in row)
+
+
+# -- send-plan prepare hooks (the OverflowError escape hatches) ---------------
+
+
+def _hop_bfs_prepare(net, call):
+    direction = "in" if call["sense"] == "backward" else "out"
+    return net.topology.send_arrays(direction, call["avoid_edges"],
+                                    call["delay"])
+
+
+def _multisource_prepare(net, call):
+    if not call["sources"]:
+        return None  # the k == 0 kernel never touches the plan
+    return net.topology.send_arrays(call["direction"],
+                                    call["avoid_edges"], call["delay"])
+
+
+# -- the registry -------------------------------------------------------------
+
+_PRIMITIVES: Tuple[Primitive, ...] = (
+    Primitive(
+        name=_counters.KERNEL_HOP_BFS,
+        title="pruned hop-BFS flood",
+        lemma="L4.2/L7.5",
+        message=("repro.core.hop_bfs", "_hop_bfs_message"),
+        vector=("repro.congest.kernels", "pruned_max_hop_bfs_vector"),
+        constraints=(
+            Constraint(
+                _counters.REASON_VALUE_RANGE,
+                "seed vertices in range; (index, aux) int64-safe ints",
+                _hop_bfs_values_ok,
+            ),
+            Constraint(
+                _counters.REASON_NON_FUNCTIONAL_AUX,
+                "auxiliary word is a function of the path index",
+                _hop_bfs_aux_functional,
+            ),
+        ),
+        ledger="opens its phase; uniform 3-word rounds over the "
+               "frontier schedule",
+        prepare=_hop_bfs_prepare,
+        escape_reason=_counters.REASON_DELAY_OVERFLOW,
+    ),
+    Primitive(
+        name=_counters.KERNEL_MULTISOURCE,
+        title="k-source hop BFS",
+        lemma="L5.5",
+        message=("repro.congest.multisource", "_multisource_message"),
+        vector=("repro.congest.kernels", "multi_source_hop_bfs_vector"),
+        constraints=(
+            Constraint(
+                _counters.REASON_KEY_OVERFLOW,
+                "priority keys d*k + rank fit int64 (sane hop limit)",
+                _multisource_key_fits,
+            ),
+            Constraint(
+                _counters.REASON_SOURCE_RANGE,
+                "sources are in-range ints (message path owns the "
+                "error behavior otherwise)",
+                _multisource_sources_ok,
+            ),
+        ),
+        ledger="opens its phase; uniform 3-word rounds of the "
+               "priority schedule",
+        prepare=_multisource_prepare,
+        escape_reason=_counters.REASON_DELAY_OVERFLOW,
+    ),
+    Primitive(
+        name=_counters.KERNEL_BROADCAST,
+        title="pipelined tree broadcast",
+        lemma="L2.4",
+        message=("repro.congest.broadcast", "_broadcast_message"),
+        vector=("repro.congest.kernels", "broadcast_messages_vector"),
+        ledger="opens its phase; per-item FIFO charges, or one bulk "
+               "charge for uniform-size batches",
+    ),
+    Primitive(
+        name=_counters.KERNEL_CHAIN_FLOOD,
+        title="path-chain flood",
+        lemma="L2.5",
+        message=("repro.core.knowledge", "_chain_flood_message"),
+        vector=("repro.congest.kernels", "chain_flood_vector"),
+        constraints=(
+            Constraint(
+                _counters.REASON_VALUE_RANGE,
+                "prefix weights int64-safe (tokens carry their "
+                "differences)",
+                _chain_prefix_fits,
+            ),
+        ),
+        ledger="charges in the caller's open phase (bulk uniform "
+               "gap schedule)",
+    ),
+    Primitive(
+        name=_counters.KERNEL_DP_SWEEP,
+        title="descending DP pipeline",
+        lemma="L4.4",
+        message=("repro.core.short_detour", "_dp_sweep_message"),
+        vector=("repro.congest.kernels", "dp_sweep_vector"),
+        constraints=(
+            Constraint(
+                _counters.REASON_VALUE_RANGE,
+                "0 <= zeta, int64-safe round count",
+                _dp_zeta_fits,
+            ),
+        ),
+        ledger="opens its phase; bulk-charges zeta-1 uniform rounds",
+    ),
+    Primitive(
+        name=_counters.KERNEL_PATH_SWEEPS,
+        title="pipelined path sweeps",
+        lemma="L4.4/5.7/5.9",
+        message=("repro.congest.pipeline", "_path_sweeps_message"),
+        vector=("repro.congest.kernels", "run_path_sweeps_vector"),
+        constraints=(
+            Constraint(
+                _counters.REASON_NON_DECLARATIVE,
+                "every task declarative (local_min table, no combine "
+                "closure)",
+                _sweeps_declarative,
+            ),
+            Constraint(
+                _counters.REASON_VALUE_RANGE,
+                "task init values and local_min tables int64-safe ints",
+                _sweeps_values_ok,
+            ),
+            Constraint(
+                _counters.REASON_DUPLICATE_KEYS,
+                "task keys pairwise distinct",
+                _sweeps_keys_distinct,
+            ),
+            Constraint(
+                _counters.REASON_OVERLAPPING_GROUPS,
+                "start groups occupy disjoint link ranges per direction",
+                _sweeps_groups_disjoint,
+            ),
+        ),
+        ledger="opens its phase; bulk-charges the FIFO makespan",
+    ),
+    Primitive(
+        name=_counters.KERNEL_SPANNING_TREE,
+        title="BFS spanning-tree flood",
+        lemma="L2.4 backbone",
+        message=("repro.congest.spanning_tree", "_flood_message"),
+        vector=("repro.congest.kernels", "spanning_tree_flood_vector"),
+        ledger="opens its phase; one offers + one confirmation round "
+               "per BFS level",
+    ),
+    Primitive(
+        name=_counters.KERNEL_N_SHIFT,
+        title="segment-table N-shift",
+        lemma="L5.9",
+        message=("repro.core.segments", "_n_shift_message"),
+        vector=("repro.congest.kernels", "n_shift_vector"),
+        constraints=(
+            Constraint(
+                _counters.REASON_VALUE_RANGE,
+                "all shifted values plain ints (3-word tokens; "
+                "Fractions take the message path)",
+                _n_shift_rows_int,
+            ),
+        ),
+        ledger="charges in the caller's open phase (k bulk rounds)",
+    ),
+    Primitive(
+        name=_counters.KERNEL_LANDMARK_COMPLETION,
+        title="landmark min-plus completion",
+        lemma="L5.6",
+        message=("repro.core.landmark_distances", "_completion_message"),
+        vector=("repro.congest.kernels", "landmark_completion_vector"),
+        ledger="ledger-free local computation (value equality only)",
+    ),
+    Primitive(
+        name=_counters.KERNEL_PAIRWISE_MIN_SUM,
+        title="pairwise min-sum finish",
+        lemma="P5.1",
+        message=("repro.core.long_detour", "_pairwise_min_sum_message"),
+        vector=("repro.congest.kernels", "pairwise_min_sum_vector"),
+        ledger="ledger-free local computation (value equality only)",
+    ),
+)
+
+REGISTRY: Dict[str, Primitive] = {p.name: p for p in _PRIMITIVES}
+
+
+def registry() -> Mapping[str, Primitive]:
+    """The primitive registry, keyed by kernel name."""
+    return REGISTRY
+
+
+# -- dispatch -----------------------------------------------------------------
+
+
+def check(primitive: str, net, **call) -> Optional[str]:
+    """First failing declared constraint's reason, or None (vector-ok).
+
+    Pure: no counters are recorded (that is :func:`dispatch`'s job).
+    Does not run ``prepare``, so an escape-hatch fallback (e.g. a
+    delay-overflow mid-plan) is not predicted here — by design, since
+    the escapes exist precisely because the condition is only
+    discoverable while building the plan.
+    """
+    prim = REGISTRY[primitive]
+    for constraint in GLOBAL_GATES + prim.constraints:
+        if not constraint.check(net, call):
+            return constraint.reason
+    return None
+
+
+def dispatch(primitive: str, net, **call):
+    """Route one primitive invocation to the vector or message path.
+
+    Evaluates the registered constraints in declared order; the first
+    failure records a ``fallback`` counter with that constraint's
+    reason and runs the message engine.  When all pass, any ``prepare``
+    hook builds the send plan (its ``OverflowError`` escape falls back
+    with the registered escape reason — nothing has been charged yet),
+    the ``vector`` hit is recorded, and the array kernel runs.  Both
+    implementations receive the identical ``**call`` keywords.
+    """
+    prim = REGISTRY[primitive]
+    reason = check(primitive, net, **call)
+    plan = None
+    if reason is None and prim.prepare is not None:
+        try:
+            plan = prim.prepare(net, call)
+        except OverflowError:
+            reason = prim.escape_reason
+    if reason is not None:
+        _counters.record_fallback(prim.name, reason)
+        return prim.resolve("message")(net, **call)
+    _counters.record_vector_hit(prim.name)
+    if prim.prepare is not None:
+        return prim.resolve("vector")(net, plan=plan, **call)
+    return prim.resolve("vector")(net, **call)
+
+
+# -- derived telemetry enums --------------------------------------------------
+
+
+def known_kernels() -> frozenset:
+    """The legal ``kernel=`` counter labels (derived from the registry)."""
+    return frozenset(REGISTRY)
+
+
+def known_reasons() -> frozenset:
+    """The legal ``reason=`` labels: every registered constraint's
+    reason plus every escape-hatch reason.  This is what CI's
+    ``--check-reasons`` gate validates against."""
+    reasons = {gate.reason for gate in GLOBAL_GATES}
+    for prim in REGISTRY.values():
+        reasons.update(c.reason for c in prim.constraints)
+        if prim.escape_reason is not None:
+            reasons.add(prim.escape_reason)
+    return frozenset(reasons)
+
+
+# -- rendering (the ``repro kernels list`` verb) ------------------------------
+
+
+def _ref_name(ref: ImplRef) -> str:
+    return f"{ref[0].rsplit('.', 1)[-1]}.{ref[1].lstrip('_')}"
+
+
+def table_rows() -> List[List[str]]:
+    """One row per primitive: the dispatch table as ``repro kernels
+    list`` renders it (reference/fast/strict share the message engine
+    atop different exchange fabrics; vector is the array kernel)."""
+    rows: List[List[str]] = []
+    for prim in _PRIMITIVES:
+        conditions = [c.reason for c in prim.constraints]
+        if prim.escape_reason is not None:
+            conditions.append(prim.escape_reason + " (escape)")
+        rows.append([
+            prim.name,
+            prim.lemma,
+            _ref_name(prim.message),
+            _ref_name(prim.vector),
+            ", ".join(conditions) if conditions else "-",
+        ])
+    return rows
+
+
+def registry_json() -> List[Dict[str, object]]:
+    """Machine-readable registry dump (``repro kernels list --json``)."""
+    out: List[Dict[str, object]] = []
+    for prim in _PRIMITIVES:
+        out.append({
+            "name": prim.name,
+            "title": prim.title,
+            "lemma": prim.lemma,
+            "implementations": {
+                "reference": ".".join(prim.message),
+                "fast": ".".join(prim.message),
+                "strict": ".".join(prim.message),
+                "vector": ".".join(prim.vector),
+            },
+            "global_gates": [
+                {"reason": g.reason, "description": g.description}
+                for g in GLOBAL_GATES
+            ],
+            "constraints": [
+                {"reason": c.reason, "description": c.description}
+                for c in prim.constraints
+            ],
+            "escape_reason": prim.escape_reason,
+            "ledger": prim.ledger,
+        })
+    return out

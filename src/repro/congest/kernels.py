@@ -26,15 +26,16 @@ observables**: the kernels return exactly the result tables the
 message engines return, and charge the
 :class:`~repro.congest.metrics.RoundLedger` exactly the same per-phase
 rounds, message counts, word totals, per-link maxima, and violation
-counts.  The message engines stay the semantic oracles; a kernel that
-cannot guarantee parity for a given call (non-functional auxiliary
-words, ``record_link_totals`` cut analysis, NumPy absent, key-encoding
-overflow, non-declarative sweep tasks) must decline via its
-``*_applicable`` predicate so the dispatchers in
-:mod:`repro.core.hop_bfs`, :mod:`repro.congest.multisource`,
-:mod:`repro.congest.broadcast`, :mod:`repro.congest.pipeline`,
-:mod:`repro.congest.spanning_tree`, and the :mod:`repro.core` phase
-drivers fall back to the message path.
+counts.  The message engines stay the semantic oracles; the
+conditions under which a kernel can guarantee parity for a given call
+(functional auxiliary words, no ``record_link_totals`` cut analysis,
+NumPy present, no key-encoding overflow, declarative sweep tasks) are
+declared as per-primitive constraints in the registry of
+:mod:`repro.congest.dispatch`, whose :func:`~repro.congest.dispatch.
+dispatch` entry point routes every call and falls back to the message
+path on the first failing constraint.  The historical
+``*_applicable`` predicates below survive only as deprecated shims
+over the registry's constraint checks.
 
 NumPy is imported lazily (module import never touches it), so the
 message engines remain importable — and fully functional — without it.
@@ -53,12 +54,12 @@ charges per-item sizes the same way the per-link FIFO engine does.
 from __future__ import annotations
 
 import functools
+import warnings
 from collections import deque
 from typing import (
     Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple,
 )
 
-from ..telemetry import dispatch as _dispatch
 from ..telemetry import trace as _trace
 from .errors import BandwidthExceededError
 from .words import INF, words_of
@@ -118,15 +119,15 @@ def vector_gate_reason(net) -> Optional[str]:
 
     Requires the vector fabric, NumPy, and no per-link total recording
     (the lower-bound cut analysis wants genuine per-message routing).
-    The returned strings are members of the enforced
-    :data:`repro.telemetry.dispatch.KNOWN_REASONS` enum.
+    The gates themselves are declared once, as data, in
+    :data:`repro.congest.dispatch.GLOBAL_GATES`; the returned strings
+    are members of the registry-derived reason set
+    (:func:`repro.telemetry.dispatch.known_reasons`).
     """
-    if getattr(net, "fabric", None) != "vector":
-        return _dispatch.REASON_FABRIC
-    if net.record_link_totals:
-        return _dispatch.REASON_RECORD_LINK_TOTALS
-    if numpy_or_none() is None:
-        return _dispatch.REASON_NUMPY_MISSING
+    from .dispatch import GLOBAL_GATES
+    for gate in GLOBAL_GATES:
+        if not gate.check(net, {}):
+            return gate.reason
     return None
 
 
@@ -213,42 +214,77 @@ def _raise_first_overload(net, senders, targets, size: int) -> None:
                                  net.bandwidth_words)
 
 
-# -- pruned hop-BFS (Lemma 4.2) ---------------------------------------------
+# -- deprecated applicability shims ------------------------------------------
+
+
+def _shim_applicable(primitive: str, net, **call) -> bool:
+    """Backcompat body of the deprecated ``*_applicable`` predicates.
+
+    Delegates to the registry's pure constraint check; unlike the old
+    predicates, no dispatch counters are recorded (that is now
+    :func:`repro.congest.dispatch.dispatch`'s job).
+    """
+    warnings.warn(
+        f"kernels.{primitive}_vector_applicable is deprecated; use "
+        f"repro.congest.dispatch.check({primitive!r}, net, ...) is None",
+        DeprecationWarning, stacklevel=3)
+    from .dispatch import check
+    return check(primitive, net, **call) is None
 
 
 def hop_bfs_vector_applicable(net, seeds: Mapping[int, Value]) -> bool:
-    """Can the pruned hop-BFS run on the array kernel for ``seeds``?
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("hop_bfs", net, seeds=seeds)
 
-    Beyond :func:`vector_enabled`, the kernel tracks frontiers by path
-    index alone, recovering the auxiliary word through an index->aux
-    map at recording time; that is only sound under the documented
-    contract that the auxiliary word is a function of the index.  A
-    seed set violating it (or carrying non-int64-able values) falls
-    back to the message path.
 
-    Dispatch accounting: declines are counted here with their reason;
-    the vector hit is counted inside the kernel, after the
-    overflow-prone send-plan build has succeeded (the dispatcher's
-    ``OverflowError`` handler counts that late fallback).
-    """
-    kernel = _dispatch.KERNEL_HOP_BFS
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(kernel, gate)
-    aux_of: Dict[int, int] = {}
-    for u, value in seeds.items():
-        idx, aux = value
-        if not isinstance(idx, int) or not isinstance(aux, int):
-            return _dispatch.decline(
-                kernel, _dispatch.REASON_VALUE_RANGE)
-        if not (_fits_int64(idx) and _fits_int64(aux)
-                and 0 <= u < net.n):
-            return _dispatch.decline(
-                kernel, _dispatch.REASON_VALUE_RANGE)
-        if aux_of.setdefault(idx, aux) != aux:
-            return _dispatch.decline(
-                kernel, _dispatch.REASON_NON_FUNCTIONAL_AUX)
-    return True
+def multisource_vector_applicable(net, sources: Sequence[int],
+                                  hop_limit: int) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("multisource", net, sources=sources,
+                            hop_limit=hop_limit)
+
+
+def broadcast_vector_applicable(net) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("broadcast", net)
+
+
+def chain_flood_vector_applicable(net, prefix: Sequence[int]) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("chain_flood", net, prefix=prefix)
+
+
+def dp_sweep_vector_applicable(net, zeta: int) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("dp_sweep", net, zeta=zeta)
+
+
+def path_sweeps_vector_applicable(net, tasks) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("path_sweeps", net, tasks=tasks)
+
+
+def n_shift_vector_applicable(net, rows) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("n_shift", net, rows=rows)
+
+
+def spanning_tree_vector_applicable(net) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("spanning_tree", net)
+
+
+def landmark_completion_vector_applicable(net) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("landmark_completion", net)
+
+
+def pairwise_min_sum_vector_applicable(net) -> bool:
+    """Deprecated shim over the registry constraint checks."""
+    return _shim_applicable("pairwise_min_sum", net)
+
+
+# -- pruned hop-BFS (Lemma 4.2) ---------------------------------------------
 
 
 @_kernel_span("hop_bfs")
@@ -263,6 +299,7 @@ def pruned_max_hop_bfs_vector(
     run_full_budget: bool,
     sense: str,
     select: str,
+    plan=None,
 ) -> Dict[int, List[Optional[Value]]]:
     """Whole-frontier rounds of the pruned hop-BFS (Lemma 4.2).
 
@@ -270,16 +307,18 @@ def pruned_max_hop_bfs_vector(
     tables, same ledger.  Per round: one CSR range expansion over the
     frontier, one delay shift into per-arrival-hop buckets, one
     segmented max (or min) per touched bucket.
+
+    ``plan`` is the prebuilt send-arrays triple the dispatcher's
+    prepare hook supplies (built before the phase opens, so a
+    pathological delay function overflows before anything is charged
+    and the dispatcher falls back); direct callers may omit it.
     """
     np = numpy_or_none()
     n = net.n
-    direction = "in" if sense == "backward" else "out"
-    # Build the send plan before opening the phase: a pathological
-    # delay function overflows here, before anything is charged, so
-    # the dispatcher can still fall back to the message path.
-    indptr, indices, steps = net.topology.send_arrays(
-        direction, avoid_edges, delay)
-    _dispatch.record_vector_hit(_dispatch.KERNEL_HOP_BFS)
+    if plan is None:
+        direction = "in" if sense == "backward" else "out"
+        plan = net.topology.send_arrays(direction, avoid_edges, delay)
+    indptr, indices, steps = plan
     # Unit steps (the unweighted Lemma 4.2) collapse the scheduling:
     # everything sent in round d arrives at exact hop d.
     unit_steps = delay is None or bool((steps == 1).all())
@@ -367,33 +406,6 @@ def pruned_max_hop_bfs_vector(
 # -- k-source hop BFS (Lemma 5.5) -------------------------------------------
 
 
-def multisource_vector_applicable(net, sources: Sequence[int],
-                                  hop_limit: int) -> bool:
-    """Can the k-source BFS run on the array kernel?
-
-    The kernel encodes the per-vertex priority schedule as lexical
-    keys ``d·k + rank``; decline when that encoding could overflow
-    int64 (absurd hop limits) or when a source is out of range (the
-    message path's error behavior should win there).
-
-    Like the hop-BFS predicate, declines are counted here; the vector
-    hit is counted inside the kernel once the send plan built.
-    """
-    kernel = _dispatch.KERNEL_MULTISOURCE
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(kernel, gate)
-    k = len(sources)
-    if hop_limit < 0 or (hop_limit + 2) * max(k, 1) >= _INT64_SAFE:
-        return _dispatch.decline(kernel,
-                                 _dispatch.REASON_KEY_OVERFLOW)
-    if not all(isinstance(s, int) and 0 <= s < net.n
-               for s in sources):
-        return _dispatch.decline(kernel,
-                                 _dispatch.REASON_SOURCE_RANGE)
-    return True
-
-
 @_kernel_span("multisource")
 def multi_source_hop_bfs_vector(
     net,
@@ -404,6 +416,7 @@ def multi_source_hop_bfs_vector(
     delay: Optional[Callable[[int], int]],
     name: str,
     max_rounds: Optional[int],
+    plan=None,
 ) -> List[List[int]]:
     """Whole-frontier rounds of the k-source hop BFS (Lemma 5.5).
 
@@ -420,12 +433,11 @@ def multi_source_hop_bfs_vector(
     n = net.n
     k = len(sources)
     if k == 0:
-        _dispatch.record_vector_hit(_dispatch.KERNEL_MULTISOURCE)
         with net.ledger.phase(name):
             return []
-    indptr, indices, steps = net.topology.send_arrays(
-        direction, avoid_edges, delay)
-    _dispatch.record_vector_hit(_dispatch.KERNEL_MULTISOURCE)
+    if plan is None:
+        plan = net.topology.send_arrays(direction, avoid_edges, delay)
+    indptr, indices, steps = plan
     size = HOP_MESSAGE_WORDS
     overload = net.strict and size > net.bandwidth_words
     # Valid queue entries all have distance <= hop_limit, so
@@ -521,14 +533,6 @@ def multi_source_hop_bfs_vector(
 
 
 # -- pipelined tree broadcast (Lemma 2.4) -----------------------------------
-
-
-def broadcast_vector_applicable(net) -> bool:
-    """Broadcast kernel gate (same conditions as :func:`vector_enabled`)."""
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(_dispatch.KERNEL_BROADCAST, gate)
-    return _dispatch.accept(_dispatch.KERNEL_BROADCAST)
 
 
 def _uniform_broadcast_schedule(net, tree, item_counts: List[int],
@@ -685,14 +689,15 @@ def broadcast_messages_vector(net, tree, messages, name: str):
 
 
 @_kernel_span("landmark_completion")
-def landmark_completion_vector(closure, from_len, to_len):
+def landmark_completion_vector(net, closure, from_len, to_len):
     """Vectorized min-plus completion of Lemma 5.6 (local computation).
 
     Every vertex stitches its hop-bounded landmark distances with the
     broadcast closure; this is ledger-free local work, so the only
     contract is value equality with the scalar loops in
     ``repro.core.landmark_distances``.  All operands are bounded by
-    the INF sentinel (2^60), so int64 sums are exact.
+    the INF sentinel (2^60), so int64 sums are exact.  ``net`` is
+    unused beyond the uniform dispatch signature (and the span join).
     """
     np = numpy_or_none()
     k = len(closure)
@@ -712,11 +717,12 @@ def landmark_completion_vector(closure, from_len, to_len):
 
 
 @_kernel_span("pairwise_min_sum")
-def pairwise_min_sum_vector(m_rows, n_rows) -> List[int]:
+def pairwise_min_sum_vector(net, m_rows, n_rows) -> List[int]:
     """``out[i] = clamp_inf(min_j m_rows[j][i] + n_rows[j][i])``.
 
     The Proposition 5.1 finish (ledger-free local computation); operands
-    are clamped at INF = 2^60, so int64 sums are exact.
+    are clamped at INF = 2^60, so int64 sums are exact.  ``net`` is
+    unused beyond the uniform dispatch signature (and the span join).
     """
     np = numpy_or_none()
     best = (np.asarray(m_rows, dtype=np.int64)
@@ -731,21 +737,6 @@ CHAIN_MESSAGE_WORDS = words_of(("chain", 0, 0, 0))
 
 #: Wire size of the Lemma 5.9 shift tokens: ("Nshift", j, value).
 N_SHIFT_MESSAGE_WORDS = words_of(("Nshift", 0, 0))
-
-
-def chain_flood_vector_applicable(net, prefix: Sequence[int]) -> bool:
-    """Can the Lemma 2.5 rightward flood run schedule-free?
-
-    ``prefix`` are the path prefix weights; every token value is a
-    difference of two of them, so one magnitude check covers the lot.
-    """
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(_dispatch.KERNEL_CHAIN_FLOOD, gate)
-    if not _fits_int64(prefix[-1]):
-        return _dispatch.decline(_dispatch.KERNEL_CHAIN_FLOOD,
-                                 _dispatch.REASON_VALUE_RANGE)
-    return _dispatch.accept(_dispatch.KERNEL_CHAIN_FLOOD)
 
 
 @_kernel_span("chain_flood")
@@ -785,18 +776,6 @@ def chain_flood_vector(
 
 #: Wire size of the Stage-3 tokens: ("dp", X value).
 DP_MESSAGE_WORDS = words_of(("dp", 0))
-
-
-def dp_sweep_vector_applicable(net, zeta: int) -> bool:
-    """Stage-3 kernel gate; X values are ints bounded by INF by
-    construction (Lemma 4.3), so only the fabric gate matters."""
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(_dispatch.KERNEL_DP_SWEEP, gate)
-    if not (0 <= zeta < _INT64_SAFE):
-        return _dispatch.decline(_dispatch.KERNEL_DP_SWEEP,
-                                 _dispatch.REASON_VALUE_RANGE)
-    return _dispatch.accept(_dispatch.KERNEL_DP_SWEEP)
 
 
 @_kernel_span("dp_sweep")
@@ -840,61 +819,6 @@ def dp_sweep_vector(
 
 #: Wire size of a sweep token: ("sweep", carried int).
 SWEEP_MESSAGE_WORDS = words_of(("sweep", 0))
-
-
-def path_sweeps_vector_applicable(net, tasks) -> bool:
-    """Can :func:`repro.congest.pipeline.run_path_sweeps` vectorize?
-
-    Requires every task to be *declarative* — an int ``init`` plus a
-    ``local_min`` table so the per-visit combine is ``min(value,
-    local_min[pos])`` — and the start-position groups to occupy
-    pairwise-disjoint link ranges per direction (true for the segment
-    sweeps: segments partition P).  Disjointness is what keeps the FIFO
-    schedule closed-form: group token j crosses its m-th link in round
-    j + 1 + m, with no cross-group queueing.
-    """
-    kernel = _dispatch.KERNEL_PATH_SWEEPS
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(kernel, gate)
-    checked = set()
-    seen_keys = set()
-    spans: Dict[int, Dict[int, List[int]]] = {1: {}, -1: {}}
-    for task in tasks:
-        local = task.local_min
-        if local is None:
-            return _dispatch.decline(
-                kernel, _dispatch.REASON_NON_DECLARATIVE)
-        if type(task.init) is not int or not _fits_int64(task.init):
-            return _dispatch.decline(
-                kernel, _dispatch.REASON_VALUE_RANGE)
-        if id(local) not in checked:
-            if not all(type(x) is int and _fits_int64(x) for x in local):
-                return _dispatch.decline(
-                    kernel, _dispatch.REASON_VALUE_RANGE)
-            checked.add(id(local))
-        if task.key in seen_keys:
-            # Duplicate keys alias engine results.
-            return _dispatch.decline(
-                kernel, _dispatch.REASON_DUPLICATE_KEYS)
-        seen_keys.add(task.key)
-        if task.start == task.end:
-            continue
-        direction = 1 if task.end > task.start else -1
-        lo, hi = sorted((task.start, task.end))
-        span = spans[direction].get(task.start)
-        if span is None:
-            spans[direction][task.start] = [lo, hi]
-        else:
-            span[0] = min(span[0], lo)
-            span[1] = max(span[1], hi)
-    for groups in spans.values():
-        intervals = sorted(groups.values())
-        for (_, a_hi), (b_lo, _) in zip(intervals, intervals[1:]):
-            if a_hi > b_lo:
-                return _dispatch.decline(
-                    kernel, _dispatch.REASON_OVERLAPPING_GROUPS)
-    return _dispatch.accept(kernel)
 
 
 @_kernel_span("path_sweeps")
@@ -964,56 +888,17 @@ def run_path_sweeps_vector(net, path, tasks, name: str) -> Dict:
 TREE_MESSAGE_WORDS = words_of(("offer",))
 
 
-def spanning_tree_vector_applicable(net) -> bool:
-    """Spanning-tree kernel gate (plain :func:`vector_enabled`)."""
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(_dispatch.KERNEL_SPANNING_TREE, gate)
-    return _dispatch.accept(_dispatch.KERNEL_SPANNING_TREE)
-
-
-def n_shift_vector_applicable(net, rows) -> bool:
-    """Lemma 5.9 N-shift gate: bulk-charging assumes every token is
-    the 3-word ``("Nshift", j, int)``; the weighted Theorem 3 pipeline
-    shifts exact Fraction lengths, which take the message path."""
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(_dispatch.KERNEL_N_SHIFT, gate)
-    if not all(type(v) is int for row in rows for v in row):
-        return _dispatch.decline(_dispatch.KERNEL_N_SHIFT,
-                                 _dispatch.REASON_VALUE_RANGE)
-    return _dispatch.accept(_dispatch.KERNEL_N_SHIFT)
-
-
-def landmark_completion_vector_applicable(net) -> bool:
-    """Lemma 5.6 completion gate (ledger-free local min-plus sweeps)."""
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(
-            _dispatch.KERNEL_LANDMARK_COMPLETION, gate)
-    return _dispatch.accept(_dispatch.KERNEL_LANDMARK_COMPLETION)
-
-
-def pairwise_min_sum_vector_applicable(net) -> bool:
-    """Proposition 5.1 combine gate (ledger-free local reduction)."""
-    gate = vector_gate_reason(net)
-    if gate is not None:
-        return _dispatch.decline(
-            _dispatch.KERNEL_PAIRWISE_MIN_SUM, gate)
-    return _dispatch.accept(_dispatch.KERNEL_PAIRWISE_MIN_SUM)
-
-
 @_kernel_span("spanning_tree")
-def spanning_tree_flood_vector(net, root: int):
+def spanning_tree_flood_vector(net, root: int, name: str):
     """Whole-frontier rounds of the BFS spanning-tree flood.
 
-    Charges within the caller's open phase and returns ``(parent,
-    depth)`` lists (``-1`` marks unreached vertices; the dispatcher
-    raises the disconnection error and assembles the tree).  Each level
-    costs two rounds exactly like the message path: an offers round
-    (one 1-word message per (frontier vertex, unreached neighbor) link)
-    and a confirmation round (one per adopted vertex); adoption picks
-    the smallest offering neighbor via a segmented minimum.
+    Opens phase ``name`` and returns ``(parent, depth)`` lists (``-1``
+    marks unreached vertices; the caller raises the disconnection
+    error and assembles the tree).  Each level costs two rounds
+    exactly like the message path: an offers round (one 1-word message
+    per (frontier vertex, unreached neighbor) link) and a confirmation
+    round (one per adopted vertex); adoption picks the smallest
+    offering neighbor via a segmented minimum.
     """
     np = numpy_or_none()
     n = net.n
@@ -1021,35 +906,53 @@ def spanning_tree_flood_vector(net, root: int):
     indptr, indices = arr.nbr_indptr, arr.nbr_indices
     size = TREE_MESSAGE_WORDS
     overload = net.strict and size > net.bandwidth_words
-    depth = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    depth[root] = 0
-    parent[root] = root
-    #: per-vertex smallest offering neighbor (n = "no offer yet").
-    chosen = np.full(n, n, dtype=np.int64)
-    frontier = np.asarray([root], dtype=np.int64)
-    level = 0
-    while frontier.size:
-        counts = indptr[frontier + 1] - indptr[frontier]
-        total = int(counts.sum())
-        if not total:
-            break
-        slots = _expand_ranges(np, indptr[frontier], counts, total)
-        targets = indices[slots]
-        unreached = depth[targets] < 0
-        offer_targets = targets[unreached]
-        if not offer_targets.size:
-            break
-        offer_senders = np.repeat(frontier, counts)[unreached]
-        _charge_uniform_round(net, int(offer_targets.size), size)
-        if overload:
-            _raise_first_overload(net, offer_senders, offer_targets,
-                                  size)
-        np.minimum.at(chosen, offer_targets, offer_senders)
-        adopted = np.unique(offer_targets)
-        parent[adopted] = chosen[adopted]
-        depth[adopted] = level + 1
-        _charge_uniform_round(net, int(adopted.size), size)
-        frontier = adopted
-        level += 1
-    return parent.tolist(), depth.tolist()
+    with net.ledger.phase(name):
+        depth = np.full(n, -1, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        depth[root] = 0
+        parent[root] = root
+        #: per-vertex smallest offering neighbor (n = "no offer yet").
+        chosen = np.full(n, n, dtype=np.int64)
+        frontier = np.asarray([root], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            counts = indptr[frontier + 1] - indptr[frontier]
+            total = int(counts.sum())
+            if not total:
+                break
+            slots = _expand_ranges(np, indptr[frontier], counts, total)
+            targets = indices[slots]
+            unreached = depth[targets] < 0
+            offer_targets = targets[unreached]
+            if not offer_targets.size:
+                break
+            offer_senders = np.repeat(frontier, counts)[unreached]
+            _charge_uniform_round(net, int(offer_targets.size), size)
+            if overload:
+                _raise_first_overload(net, offer_senders, offer_targets,
+                                      size)
+            np.minimum.at(chosen, offer_targets, offer_senders)
+            adopted = np.unique(offer_targets)
+            parent[adopted] = chosen[adopted]
+            depth[adopted] = level + 1
+            _charge_uniform_round(net, int(adopted.size), size)
+            frontier = adopted
+            level += 1
+        return parent.tolist(), depth.tolist()
+
+
+@_kernel_span("n_shift")
+def n_shift_vector(net, path: Sequence[int], rows,
+                   hop_count: int) -> List[List[int]]:
+    """The Lemma 5.9 one-hop leftward shift, charged in bulk.
+
+    Charges within the caller's open phase (``N-shift``).  Every round
+    moves exactly ``hop_count`` three-word tokens one hop leftward and
+    the shifted row is already local knowledge, so the whole k-round
+    schedule bulk-charges and the result is pure slicing.
+    """
+    h = hop_count
+    k = len(rows)
+    charge_uniform_rounds(net, k, k * h, N_SHIFT_MESSAGE_WORDS,
+                          path[1:h + 1], path[:h])
+    return [list(row[1:h + 1]) for row in rows]

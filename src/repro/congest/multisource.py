@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from . import kernels
+from .dispatch import dispatch
 from .network import CongestNetwork
 from .topology import downstream_step_tables
 from .words import INF
@@ -65,17 +65,23 @@ def multi_source_hop_bfs(
     ``hop_limit``.
     """
     name = phase if phase is not None else "k-source-bfs"
-    if kernels.multisource_vector_applicable(net, sources, hop_limit):
-        try:
-            return kernels.multi_source_hop_bfs_vector(
-                net, sources, hop_limit, direction, avoid_edges, delay,
-                name, max_rounds)
-        except OverflowError:
-            # Pathological delay steps: run the message path.
-            from ..telemetry import dispatch as _dispatch
-            _dispatch.record_fallback(
-                _dispatch.KERNEL_MULTISOURCE,
-                _dispatch.REASON_DELAY_OVERFLOW)
+    return dispatch(
+        "multisource", net, sources=sources, hop_limit=hop_limit,
+        direction=direction, avoid_edges=avoid_edges, delay=delay,
+        name=name, max_rounds=max_rounds)
+
+
+def _multisource_message(
+    net: CongestNetwork,
+    sources: Sequence[int],
+    hop_limit: int,
+    direction: str,
+    avoid_edges: EdgeSet,
+    delay: Optional[Callable[[int], int]],
+    name: str,
+    max_rounds: Optional[int],
+) -> List[List[int]]:
+    """The priority-schedule round loop (the registry's fallback lane)."""
     k = len(sources)
     n = net.n
     downstream, step_in = downstream_step_tables(

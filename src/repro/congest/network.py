@@ -64,6 +64,20 @@ DEFAULT_BANDWIDTH_WORDS = 8
 FABRICS = ("fast", "strict", "reference", "vector")
 
 
+def resolve_fabric(fabric: str) -> str:
+    """Validate a fabric name and return it.
+
+    The one place fabric names are checked: every solver entry point,
+    the suite runner, the CLI, and the network constructor funnel
+    through here, so an unknown name always produces the same
+    ``ValueError`` listing the valid choices.
+    """
+    if fabric not in FABRICS:
+        raise ValueError(
+            f"unknown fabric {fabric!r}; expected one of {FABRICS}")
+    return fabric
+
+
 class CongestNetwork:
     """A directed graph together with its CONGEST communication fabric.
 
@@ -105,9 +119,7 @@ class CongestNetwork:
         fabric: str = "fast",
         topology: Optional[CSRTopology] = None,
     ) -> None:
-        if fabric not in FABRICS:
-            raise ValueError(
-                f"unknown fabric {fabric!r}; expected one of {FABRICS}")
+        fabric = resolve_fabric(fabric)
         if topology is None:
             topology = CSRTopology(n, edges)
         elif topology.n != n:

@@ -36,7 +36,7 @@ from typing import (
     Callable, Dict, Hashable, List, Optional, Sequence, Tuple,
 )
 
-from . import kernels
+from .dispatch import dispatch
 from .network import CongestNetwork
 
 #: combine(position, carried) -> new carried value.  ``position`` is the
@@ -105,9 +105,8 @@ def run_path_sweeps(
     link per round.
     """
     name = phase if phase is not None else "path-sweeps"
-    results: Dict[Hashable, SweepResult] = {}
     if not tasks:
-        return results
+        return {}
     hops = len(path) - 1
     for task in tasks:
         if not (0 <= task.start <= hops and 0 <= task.end <= hops):
@@ -118,13 +117,26 @@ def run_path_sweeps(
                 f"sweep {task.key!r} needs exactly one of "
                 "combine/local_min")
 
-    if kernels.path_sweeps_vector_applicable(net, tasks):
-        raw = kernels.run_path_sweeps_vector(net, path, tasks, name)
-        return {
-            key: SweepResult(key=key, final=final, trace=trace)
-            for key, (final, trace) in raw.items()
-        }
+    raw = dispatch("path_sweeps", net, path=path, tasks=tasks, name=name)
+    return {
+        key: SweepResult(key=key, final=final, trace=trace)
+        for key, (final, trace) in raw.items()
+    }
 
+
+def _path_sweeps_message(
+    net: CongestNetwork,
+    path: Sequence[int],
+    tasks: Sequence[SweepTask],
+    name: str,
+) -> Dict[Hashable, Tuple[object, Dict[int, object]]]:
+    """The per-link FIFO round loop (the registry's fallback lane).
+
+    Returns the same raw ``{key: (final, trace)}`` mapping as the
+    vector kernel; :func:`run_path_sweeps` wraps both lanes into
+    :class:`SweepResult` objects.
+    """
+    results: Dict[Hashable, SweepResult] = {}
     with net.ledger.phase(name):
         # Directed link queues keyed by (position, direction); direction
         # +1 moves token from path[p] to path[p+1].  The deterministic
@@ -203,4 +215,4 @@ def run_path_sweeps(
                 else:
                     enqueue(task, position, value)
                     pending += 1
-    return results
+    return {key: (r.final, r.trace) for key, r in results.items()}

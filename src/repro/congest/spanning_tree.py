@@ -9,9 +9,9 @@ each vertex adopts the first sender it hears as its parent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from . import kernels
+from .dispatch import dispatch
 from .errors import CongestError
 from .network import CongestNetwork
 from .words import words_of
@@ -82,27 +82,34 @@ def build_spanning_tree(
     in total.
     """
     name = phase if phase is not None else "spanning-tree"
-    if kernels.spanning_tree_vector_applicable(net):
-        with net.ledger.phase(name):
-            parent, depth = kernels.spanning_tree_flood_vector(net, root)
-            if min(parent) < 0:
-                raise CongestError(
-                    "communication graph is disconnected; no spanning "
-                    "tree")
-            children = [[] for _ in range(net.n)]
-            for v in range(net.n):
-                if v != root:
-                    children[parent[v]].append(v)
-            tree = SpanningTree(root=root, parent=parent,
-                                children=children, depth=depth)
-            tree.verify()
-            return tree
+    parent, depth = dispatch("spanning_tree", net, root=root, name=name)
+    if min(parent) < 0:
+        raise CongestError(
+            "communication graph is disconnected; no spanning tree")
+    children: List[List[int]] = [[] for _ in range(net.n)]
+    for v in range(net.n):
+        if v != root:
+            children[parent[v]].append(v)
+    tree = SpanningTree(root=root, parent=parent,
+                        children=children, depth=depth)
+    tree.verify()
+    return tree
+
+
+def _flood_message(net: CongestNetwork, root: int,
+                   name: str) -> Tuple[List[int], List[int]]:
+    """The offer/confirm flood rounds (the registry's fallback lane).
+
+    Opens phase ``name`` and returns ``(parent, depth)`` with ``-1``
+    marking unreached vertices; :func:`build_spanning_tree` raises the
+    disconnection error and assembles/verifies the tree, identically
+    for both lanes.
+    """
     nbr_lists = net.topology.nbr_lists
     exchange = net.exchange
     with net.ledger.phase(name):
         parent = [-1] * net.n
         depth = [-1] * net.n
-        children: List[List[int]] = [[] for _ in range(net.n)]
         parent[root] = root
         depth[root] = 0
         frontier = [root]
@@ -133,18 +140,9 @@ def build_spanning_tree(
                 confirm_inbox = exchange(confirm)
                 for p, arrivals in confirm_inbox.items():
                     for child, _ in arrivals:
-                        children[p].append(child)
                         depth[child] = depth[p] + 1
             frontier = sorted(adopted)
-        if any(p < 0 for p in parent):
-            raise CongestError(
-                "communication graph is disconnected; no spanning tree")
-        for lst in children:
-            lst.sort()
-        tree = SpanningTree(root=root, parent=parent,
-                            children=children, depth=depth)
-        tree.verify()
-        return tree
+        return parent, depth
 
 
 def replay_spanning_tree_charges(

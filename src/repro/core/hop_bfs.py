@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from ..congest import kernels
+from ..congest.dispatch import dispatch
 from ..congest.network import CongestNetwork
 from ..congest.topology import downstream_step_tables
 
@@ -100,27 +100,34 @@ def pruned_max_hop_bfs(
         raise ValueError(f"unknown sense {sense!r}")
     if select not in ("max", "min"):
         raise ValueError(f"unknown select {select!r}")
+
+    name = phase if phase is not None else f"hop-bfs(L4.2,{sense})"
+    return dispatch(
+        "hop_bfs", net, seeds=seeds, hop_limit=hop_limit,
+        avoid_edges=avoid_edges, delay=delay, record_for=record_for,
+        name=name, run_full_budget=run_full_budget, sense=sense,
+        select=select)
+
+
+def _hop_bfs_message(
+    net: CongestNetwork,
+    seeds: Dict[int, Value],
+    hop_limit: int,
+    avoid_edges: EdgeSet,
+    delay: Optional[Callable[[int], int]],
+    record_for: Optional[Iterable[int]],
+    name: str,
+    run_full_budget: bool,
+    sense: str,
+    select: str,
+) -> Dict[int, List[Optional[Value]]]:
+    """The message-engine round loop (the registry's fallback lane)."""
     prefer_larger = select == "max"
 
     def better(a: Value, b: Optional[Value]) -> bool:
         if b is None:
             return True
         return a[0] > b[0] if prefer_larger else a[0] < b[0]
-
-    name = phase if phase is not None else f"hop-bfs(L4.2,{sense})"
-
-    if kernels.hop_bfs_vector_applicable(net, seeds):
-        try:
-            return kernels.pruned_max_hop_bfs_vector(
-                net, seeds, hop_limit, avoid_edges, delay, record_for,
-                name, run_full_budget, sense, select)
-        except OverflowError:
-            # A delay function produced steps beyond int64: nothing has
-            # been charged yet (the send plan is built before the phase
-            # opens), so the message path below runs it instead.
-            from ..telemetry import dispatch as _dispatch
-            _dispatch.record_fallback(_dispatch.KERNEL_HOP_BFS,
-                                      _dispatch.REASON_DELAY_OVERFLOW)
 
     record = set(record_for) if record_for is not None else set(
         range(net.n))

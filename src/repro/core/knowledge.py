@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from ..congest import kernels
 from ..congest.broadcast import broadcast_messages
+from ..congest.dispatch import dispatch
 from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import SpanningTree, build_spanning_tree
 from ..graphs.instance import RPathsInstance
@@ -73,6 +73,42 @@ def oracle_knowledge(instance: RPathsInstance) -> PathKnowledge:
     )
 
 
+def _chain_flood_message(
+    net: CongestNetwork,
+    path: Sequence[int],
+    sampled: Sequence[int],
+    prefix: Sequence[int],
+) -> Dict[int, tuple]:
+    """The per-token Lemma 2.5 flood (the registry's fallback lane).
+
+    Charges within the caller's open phase, like the vector kernel.
+    Edge weights are recovered as consecutive prefix-weight
+    differences — exactly how ``prefix`` was built.
+    """
+    h = len(path) - 1
+    sampled_set = set(sampled)
+    from_left: Dict[int, tuple] = {}
+    tokens = [(i, path[i], 0, 0) for i in sampled if i < h]
+    while tokens:
+        outbox: Dict[int, list] = {}
+        moves = []
+        for pos, origin, hops, dist in tokens:
+            nxt = pos + 1
+            w = prefix[nxt] - prefix[pos]
+            outbox.setdefault(path[pos], []).append(
+                (path[nxt],
+                 ("chain", origin, hops + 1, dist + w)))
+            moves.append((nxt, origin, hops + 1, dist + w))
+        net.exchange(outbox)
+        tokens = []
+        for pos, origin, hops, dist in moves:
+            from_left[pos] = (origin, hops, dist)
+            if pos not in sampled_set and pos < h:
+                tokens.append((pos, origin, hops, dist))
+            # tokens stop at sampled vertices (record only).
+    return from_left
+
+
 def acquire_path_knowledge(
     instance: RPathsInstance,
     net: CongestNetwork,
@@ -106,33 +142,12 @@ def acquire_path_knowledge(
         prefix = [0] * (h + 1)
         for i in range(h):
             prefix[i + 1] = prefix[i] + weights[(path[i], path[i + 1])]
-        if kernels.chain_flood_vector_applicable(net, prefix):
-            # Tokens advance in lockstep between consecutive sampled
-            # positions: the schedule is gap arithmetic and the records
-            # are prefix-weight differences, so the kernel charges the
-            # identical rounds without the per-token exchanges.
-            from_left = kernels.chain_flood_vector(
-                net, path, sampled, prefix)
-        else:
-            from_left = {}
-            tokens = [(i, path[i], 0, 0) for i in sampled if i < h]
-            while tokens:
-                outbox: Dict[int, list] = {}
-                moves = []
-                for pos, origin, hops, dist in tokens:
-                    nxt = pos + 1
-                    w = weights[(path[pos], path[nxt])]
-                    outbox.setdefault(path[pos], []).append(
-                        (path[nxt],
-                         ("chain", origin, hops + 1, dist + w)))
-                    moves.append((nxt, origin, hops + 1, dist + w))
-                net.exchange(outbox)
-                tokens = []
-                for pos, origin, hops, dist in moves:
-                    from_left[pos] = (origin, hops, dist)
-                    if pos not in sampled_set and pos < h:
-                        tokens.append((pos, origin, hops, dist))
-                    # tokens stop at sampled vertices (record only).
+        # Both lanes charge within this open phase: the vector kernel
+        # bulk-charges the gap schedule (tokens advance in lockstep and
+        # the records are prefix-weight differences), the message lane
+        # below runs the per-token exchanges.
+        from_left = dispatch("chain_flood", net, path=path,
+                             sampled=sampled, prefix=prefix)
 
         # -- step 3: sampled vertices broadcast their chain records.
         if tree is None:

@@ -24,8 +24,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..congest import kernels
 from ..congest.broadcast import broadcast_messages
+from ..congest.dispatch import dispatch
 from ..congest.multisource import multi_source_hop_bfs
 from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import SpanningTree
@@ -150,7 +150,6 @@ def compute_landmark_distances(
         # rows once; sums against an INF operand can never undercut a
         # finite candidate, so the guarded inner branches collapse to
         # plain min-scans over precomputed rows.
-        n = net.n
         from_len = [[hops_to_length(h) if h < INF else INF
                      for h in forward_hops[a]] for a in range(k)]
         to_len = [[hops_to_length(h) if h < INF else INF
@@ -158,34 +157,43 @@ def compute_landmark_distances(
         # On the vector fabric the min-plus completion runs as int64
         # matrix sweeps (identical values; this is ledger-free local
         # computation, so only value equality is at stake).
-        if kernels.landmark_completion_vector_applicable(net):
-            from_landmark, to_landmark = (
-                kernels.landmark_completion_vector(
-                    closure, from_len, to_len))
-            return LandmarkDistances(
-                landmarks, closure, from_landmark, to_landmark)
-        closure_t = [[closure[mid][a] for mid in range(k)]
-                     for a in range(k)]
-        from_landmark = [[INF] * n for _ in range(k)]
-        to_landmark = [[INF] * n for _ in range(k)]
-        for a in range(k):
-            row = closure[a]
-            col = closure_t[a]
-            direct_f = from_len[a]
-            direct_t = to_len[a]
-            out_f = from_landmark[a]
-            out_t = to_landmark[a]
-            for v in range(n):
-                best_f = direct_f[v]
-                best_t = direct_t[v]
-                for mid in range(k):
-                    candidate = row[mid] + from_len[mid][v]
-                    if candidate < best_f:
-                        best_f = candidate
-                    candidate = to_len[mid][v] + col[mid]
-                    if candidate < best_t:
-                        best_t = candidate
-                out_f[v] = clamp_inf(best_f)
-                out_t[v] = clamp_inf(best_t)
+        from_landmark, to_landmark = dispatch(
+            "landmark_completion", net, closure=closure,
+            from_len=from_len, to_len=to_len)
         return LandmarkDistances(
             landmarks, closure, from_landmark, to_landmark)
+
+
+def _completion_message(
+    net: CongestNetwork,
+    closure: List[List[int]],
+    from_len: List[List[int]],
+    to_len: List[List[int]],
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """The scalar min-plus completion (the registry's fallback lane)."""
+    k = len(closure)
+    n = net.n
+    closure_t = [[closure[mid][a] for mid in range(k)]
+                 for a in range(k)]
+    from_landmark = [[INF] * n for _ in range(k)]
+    to_landmark = [[INF] * n for _ in range(k)]
+    for a in range(k):
+        row = closure[a]
+        col = closure_t[a]
+        direct_f = from_len[a]
+        direct_t = to_len[a]
+        out_f = from_landmark[a]
+        out_t = to_landmark[a]
+        for v in range(n):
+            best_f = direct_f[v]
+            best_t = direct_t[v]
+            for mid in range(k):
+                candidate = row[mid] + from_len[mid][v]
+                if candidate < best_f:
+                    best_f = candidate
+                candidate = to_len[mid][v] + col[mid]
+                if candidate < best_t:
+                    best_t = candidate
+            out_f[v] = clamp_inf(best_f)
+            out_t[v] = clamp_inf(best_t)
+    return from_landmark, to_landmark

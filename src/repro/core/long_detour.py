@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
-from ..congest import kernels
+from ..congest.dispatch import dispatch
 from ..congest.network import CongestNetwork
 from ..congest.spanning_tree import SpanningTree
 from ..congest.words import INF, clamp_inf
@@ -79,17 +79,28 @@ def long_detour_lengths(
             prefix_table, suffix_table)
         m_final, n_final = tables["M"], tables["N"]
 
-        k = distances.count
         # The final Proposition 5.1 combine is ledger-free local work;
         # the vector fabric runs it as one (k, h) min-plus reduction.
-        if h and kernels.pairwise_min_sum_vector_applicable(net):
-            return kernels.pairwise_min_sum_vector(m_final, n_final)
-        out = []
-        for i in range(h):
-            best = INF
-            for j in range(k):
-                candidate = m_final[j][i] + n_final[j][i]
-                if candidate < best:
-                    best = candidate
-            out.append(clamp_inf(best))
-        return out
+        if not h:
+            return []
+        return dispatch("pairwise_min_sum", net,
+                        m_rows=m_final, n_rows=n_final)
+
+
+def _pairwise_min_sum_message(
+    net: CongestNetwork,
+    m_rows: List[List[int]],
+    n_rows: List[List[int]],
+) -> List[int]:
+    """The scalar min-plus reduction (the registry's fallback lane)."""
+    k = len(m_rows)
+    h = len(m_rows[0]) if m_rows else 0
+    out = []
+    for i in range(h):
+        best = INF
+        for j in range(k):
+            candidate = m_rows[j][i] + n_rows[j][i]
+            if candidate < best:
+                best = candidate
+        out.append(clamp_inf(best))
+    return out

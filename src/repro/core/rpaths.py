@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .. import telemetry
 from ..congest.metrics import RoundLedger
+from ..congest.network import resolve_fabric
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance
@@ -98,6 +99,7 @@ def solve_rpaths(
         raise ValueError(
             "Theorem 1 targets unweighted graphs; use approx.apx_rpaths "
             "for weighted instances (Theorem 3)")
+    fabric = resolve_fabric(fabric)
     if zeta is None:
         zeta = default_zeta(instance.n)
 

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..congest import kernels
 from ..congest.broadcast import broadcast_messages
+from ..congest.dispatch import dispatch
 from ..congest.network import CongestNetwork
 from ..congest.pipeline import SweepTask, run_path_sweeps
 from ..congest.spanning_tree import SpanningTree
@@ -194,36 +194,39 @@ def finish_distance_tables(
                     suffix_table[g][j].get(pos, INF), n_after[g][j])
 
         with net.ledger.phase("N-shift"):
-            # Path vertices are pairwise distinct (P is a shortest
-            # path), so each round's outbox is one message per path
-            # vertex — built directly, no setdefault probes.  Every
-            # round moves exactly h three-word tokens one hop leftward
-            # and the shifted row is already local knowledge, so the
-            # vector fabric bulk-charges the schedule instead of
-            # exchanging.
-            n_final = [[INF] * h for _ in range(k)]
             # The bulk charge assumes every token is the 3-word
             # ("Nshift", j, int); the weighted Theorem 3 pipeline
             # shifts exact Fraction lengths (2 words each), so any
             # non-int value sends the whole shift down the message
-            # path.
-            if kernels.n_shift_vector_applicable(net, n_at_vertex):
-                kernels.charge_uniform_rounds(
-                    net, k, k * h, kernels.N_SHIFT_MESSAGE_WORDS,
-                    path[1:h + 1], path[:h])
-                for j in range(k):
-                    n_final[j][:] = n_at_vertex[j][1:h + 1]
-            else:
-                for j in range(k):
-                    row = n_at_vertex[j]
-                    outbox: Dict[int, list] = {
-                        path[pos]: [(path[pos - 1],
-                                     ("Nshift", j, row[pos]))]
-                        for pos in range(1, h + 1)
-                    }
-                    net.exchange(outbox)
-                    n_final[j][:] = row[1:h + 1]
+            # path.  Both lanes charge within this open phase.
+            n_final = dispatch("n_shift", net, path=path,
+                               rows=n_at_vertex, hop_count=h)
         return {"M": m_final, "N": n_final}
+
+
+def _n_shift_message(
+    net: CongestNetwork,
+    path: Sequence[int],
+    rows: List[List[int]],
+    hop_count: int,
+) -> List[List[int]]:
+    """The per-row one-hop shift rounds (the registry's fallback lane).
+
+    Path vertices are pairwise distinct (P is a shortest path), so each
+    round's outbox is one message per path vertex — built directly, no
+    setdefault probes.  Every round moves exactly ``hop_count``
+    three-word tokens one hop leftward.
+    """
+    h = hop_count
+    n_final = [[INF] * h for _ in range(len(rows))]
+    for j, row in enumerate(rows):
+        outbox: Dict[int, list] = {
+            path[pos]: [(path[pos - 1], ("Nshift", j, row[pos]))]
+            for pos in range(1, h + 1)
+        }
+        net.exchange(outbox)
+        n_final[j][:] = row[1:h + 1]
+    return n_final
 
 
 def _segment_of_positions(checkpoints: Sequence[int],

@@ -20,9 +20,9 @@ per P-edge per round, leaving every v_i with
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from ..congest import kernels
+from ..congest.dispatch import dispatch
 from ..congest.network import CongestNetwork
 from ..congest.words import INF
 from ..graphs.instance import RPathsInstance
@@ -98,29 +98,41 @@ def short_detour_lengths(
             for i in range(h + 1)
         ]
 
-        def x_i_geq(i: int, j: int) -> int:
-            if j > h:
-                return INF
-            return x_geq[i].get(j, INF)
-
         # Stage 3: Lemma 4.4 — ζ−1 pipelined rounds along P.
         # best[i] holds X[≤ i, ≥ i+d] as d descends from ζ to 1.
-        if kernels.dp_sweep_vector_applicable(net, zeta):
-            best = kernels.dp_sweep_vector(
-                net, path, x_geq, h, zeta, "dp-pipeline(L4.4)")
-        else:
-            with net.ledger.phase("dp-pipeline(L4.4)"):
-                best = [x_i_geq(i, i + zeta) for i in range(h + 1)]
-                for d in range(zeta, 1, -1):
-                    outbox: Dict[int, list] = {}
-                    for i in range(h):
-                        outbox.setdefault(path[i], []).append(
-                            (path[i + 1], ("dp", best[i])))
-                    net.exchange(outbox)
-                    new_best = list(best)
-                    for i in range(h + 1):
-                        incoming = best[i - 1] if i > 0 else INF
-                        new_best[i] = min(incoming,
-                                          x_i_geq(i, i + (d - 1)))
-                    best = new_best
+        best = dispatch("dp_sweep", net, path=path, x_geq=x_geq,
+                        hop_count=h, zeta=zeta,
+                        name="dp-pipeline(L4.4)")
         return [min(best[i], INF) for i in range(h)]
+
+
+def _dp_sweep_message(
+    net: CongestNetwork,
+    path: Sequence[int],
+    x_geq: List[Dict[int, int]],
+    hop_count: int,
+    zeta: int,
+    name: str,
+) -> List[int]:
+    """The per-round DP exchange loop (the registry's fallback lane)."""
+    h = hop_count
+
+    def x_i_geq(i: int, j: int) -> int:
+        if j > h:
+            return INF
+        return x_geq[i].get(j, INF)
+
+    with net.ledger.phase(name):
+        best = [x_i_geq(i, i + zeta) for i in range(h + 1)]
+        for d in range(zeta, 1, -1):
+            outbox: Dict[int, list] = {}
+            for i in range(h):
+                outbox.setdefault(path[i], []).append(
+                    (path[i + 1], ("dp", best[i])))
+            net.exchange(outbox)
+            new_best = list(best)
+            for i in range(h + 1):
+                incoming = best[i - 1] if i > 0 else INF
+                new_best[i] = min(incoming, x_i_geq(i, i + (d - 1)))
+            best = new_best
+        return best

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from .. import telemetry
 from ..congest.broadcast import global_min
+from ..congest.network import resolve_fabric
 from ..congest.spanning_tree import (
     SpanningTree,
     build_spanning_tree,
@@ -54,6 +55,7 @@ def solve_two_sisp(
     The aggregation genuinely runs on the same ledger, so the reported
     round count covers the full Corollary 6.2 pipeline.
     """
+    fabric = resolve_fabric(fabric)
     with telemetry.span("solve/two-sisp", instance=instance.name,
                         n=instance.n, fabric=fabric) as sp:
         report = solve_rpaths(

@@ -42,6 +42,7 @@ from ..congest.broadcast import (
 )
 from ..congest.errors import InvalidInstanceError
 from ..congest.metrics import RoundLedger
+from ..congest.network import resolve_fabric
 from ..congest.spanning_tree import build_spanning_tree
 from ..congest.words import INF, clamp_inf
 from ..graphs.instance import RPathsInstance
@@ -198,6 +199,7 @@ def solve_rpaths_undirected(
     eccentricity — the folklore algorithm; [MR24b]'s sophisticated
     T_SSSP is out of scope, the *additive h_st* structure is the point).
     """
+    fabric = resolve_fabric(fabric)
     require_undirected(instance)
     h = instance.hop_count
     position = {v: i for i, v in enumerate(instance.path)}

@@ -112,10 +112,8 @@ def expand_cells(
     untouched.
     """
     if fabric is not None:
-        from ..congest.network import FABRICS
-        if fabric not in FABRICS:
-            raise ValueError(
-                f"unknown fabric {fabric!r}; expected one of {FABRICS}")
+        from ..congest.network import resolve_fabric
+        fabric = resolve_fabric(fabric)
     if names:
         scenarios = [get_scenario(name) for name in names]
     else:

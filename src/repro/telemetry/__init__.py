@@ -11,8 +11,8 @@ shards):
   of labeled counters/gauges/summaries with JSON and Prometheus-text
   exports.
 * :mod:`~repro.telemetry.dispatch` — kernel dispatch accounting
-  (vector hits vs message-path fallbacks) against a closed
-  fallback-reason enum that CI enforces.
+  (vector hits vs message-path fallbacks) against the reason set
+  derived from the primitive registry, which CI enforces.
 * :mod:`~repro.telemetry.sink` — append-only JSONL trace files, one
   per process, schema-versioned.
 * :mod:`~repro.telemetry.tooling` — the ``repro trace summary`` /
@@ -37,8 +37,8 @@ from .counters import (  # noqa: F401
 )
 from .dispatch import (  # noqa: F401
     DISPATCH_COUNTER,
-    KNOWN_KERNELS,
-    KNOWN_REASONS,
+    known_kernels,
+    known_reasons,
     record_fallback,
     record_vector_hit,
     unknown_reasons,

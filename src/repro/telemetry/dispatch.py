@@ -1,20 +1,22 @@
 """Kernel-dispatch accounting: vector hits vs message-path fallbacks.
 
-Every ``*_applicable`` predicate in :mod:`repro.congest.kernels` (and
-the ``OverflowError`` escape hatches at its dispatch sites) reports its
-outcome here, one event per kernel invocation:
+The unified dispatcher (:func:`repro.congest.dispatch.dispatch`)
+reports every routing decision here, one event per kernel invocation:
 
 * ``outcome="vector"`` — the call ran on the array kernel;
 * ``outcome="fallback"`` — the call took the message path, with a
-  ``reason`` from the **closed enum** below.
+  ``reason`` derived from the first failing constraint declared in
+  the primitive registry (or from a registered escape hatch).
 
-The enum *is* DESIGN.md's fallback matrix, enforced: CI's traced smoke
-step runs ``repro trace summary --check-reasons`` over the collected
-counter snapshots and fails on any reason outside
-:data:`KNOWN_REASONS` — so a new kernel gate cannot ship without
-registering (and documenting) its reason.  This is the groundwork for
-the planned declarative-dispatch refactor: the reasons enumerate
-exactly the constraint set a future dispatcher has to model.
+The legal label sets are **derived from the registry**, not
+hand-maintained: :func:`known_kernels` / :func:`known_reasons` read
+:mod:`repro.congest.dispatch` lazily (module-level import would be
+circular — the kernels import this module for the label constants).
+CI's traced smoke step runs ``repro trace summary --check-reasons``
+over the collected counter snapshots and fails on any reason outside
+the derived set — so a new kernel constraint cannot ship without a
+registration that simultaneously documents it in ``repro kernels
+list``.
 
 Counter shape::
 
@@ -44,20 +46,7 @@ KERNEL_SPANNING_TREE = "spanning_tree"
 KERNEL_LANDMARK_COMPLETION = "landmark_completion"
 KERNEL_PAIRWISE_MIN_SUM = "pairwise_min_sum"
 
-KNOWN_KERNELS = frozenset({
-    KERNEL_HOP_BFS,
-    KERNEL_MULTISOURCE,
-    KERNEL_BROADCAST,
-    KERNEL_CHAIN_FLOOD,
-    KERNEL_DP_SWEEP,
-    KERNEL_PATH_SWEEPS,
-    KERNEL_N_SHIFT,
-    KERNEL_SPANNING_TREE,
-    KERNEL_LANDMARK_COMPLETION,
-    KERNEL_PAIRWISE_MIN_SUM,
-})
-
-# -- fallback reasons (the enforced enum) ------------------------------------
+# -- fallback reasons (the counter label vocabulary) -------------------------
 
 #: The network does not run ``fabric="vector"`` at all — not a real
 #: fallback, but counted so vector coverage is measurable per run.
@@ -86,19 +75,28 @@ REASON_OVERLAPPING_GROUPS = "overlapping-groups"
 #: Duplicate sweep-task keys would alias engine results.
 REASON_DUPLICATE_KEYS = "duplicate-keys"
 
-KNOWN_REASONS = frozenset({
-    REASON_FABRIC,
-    REASON_NUMPY_MISSING,
-    REASON_RECORD_LINK_TOTALS,
-    REASON_NON_FUNCTIONAL_AUX,
-    REASON_VALUE_RANGE,
-    REASON_KEY_OVERFLOW,
-    REASON_SOURCE_RANGE,
-    REASON_DELAY_OVERFLOW,
-    REASON_NON_DECLARATIVE,
-    REASON_OVERLAPPING_GROUPS,
-    REASON_DUPLICATE_KEYS,
-})
+
+def known_kernels() -> frozenset:
+    """Legal ``kernel=`` labels, derived from the primitive registry."""
+    from ..congest.dispatch import known_kernels as derive
+    return derive()
+
+
+def known_reasons() -> frozenset:
+    """Legal ``reason=`` labels, derived from the registered
+    constraints and escape hatches."""
+    from ..congest.dispatch import known_reasons as derive
+    return derive()
+
+
+def __getattr__(name: str):
+    # Backcompat for the pre-registry closed enums: the old frozen-set
+    # names now materialize the registry-derived sets on access.
+    if name == "KNOWN_KERNELS":
+        return known_kernels()
+    if name == "KNOWN_REASONS":
+        return known_reasons()
+    raise AttributeError(name)
 
 
 def record_vector_hit(kernel: str) -> None:
@@ -110,18 +108,6 @@ def record_fallback(kernel: str, reason: str) -> None:
     """Count one dispatch that took the message path."""
     registry.inc(DISPATCH_COUNTER, kernel=kernel, outcome="fallback",
                  reason=reason)
-
-
-def accept(kernel: str) -> bool:
-    """Predicate helper: record a vector hit and return True."""
-    record_vector_hit(kernel)
-    return True
-
-
-def decline(kernel: str, reason: str) -> bool:
-    """Predicate helper: record a fallback and return False."""
-    record_fallback(kernel, reason)
-    return False
 
 
 def dispatch_rows(counters: Dict[str, float],
@@ -145,15 +131,17 @@ def dispatch_rows(counters: Dict[str, float],
 
 
 def unknown_reasons(counters: Dict[str, float]) -> List[str]:
-    """Fallback reasons (or kernels) outside the registered enums.
+    """Fallback reasons (or kernels) outside the registry-derived sets.
 
     The CI gate: a non-empty return fails the traced smoke step.
     """
+    kernels = known_kernels()
+    reasons = known_reasons()
     bad: List[str] = []
     for kernel, outcome, reason, _count in dispatch_rows(counters):
-        if kernel not in KNOWN_KERNELS:
+        if kernel not in kernels:
             bad.append(f"kernel:{kernel}")
-        if outcome == "fallback" and reason not in KNOWN_REASONS:
+        if outcome == "fallback" and reason not in reasons:
             bad.append(f"reason:{reason or '<empty>'}")
         if outcome not in ("vector", "fallback"):
             bad.append(f"outcome:{outcome}")

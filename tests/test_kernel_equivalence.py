@@ -14,9 +14,14 @@ Layers of evidence:
   and full-ledger equality per trial;
 * end-to-end runs (landmark pipeline, full Theorem 1 solver) on both
   fabrics;
-* fallback coverage: kernel-declining calls (non-functional aux words,
-  link-total recording, NumPy "absent") silently take the message
-  path with identical results.
+* registry-parametrized fallback coverage
+  (:class:`TestRegistryForcedFallbacks`): every primitive x every
+  constraint declared in :mod:`repro.congest.dispatch` gets an
+  automatic force-fallback case — a call violating exactly that
+  constraint must take the message path with bit-identical results
+  and ledgers, and the dispatch counter must charge that constraint's
+  reason.  Registering a new constraint without a case here fails the
+  coverage test.
 """
 
 from __future__ import annotations
@@ -27,12 +32,16 @@ import pytest
 
 from repro.congest import (
     CongestNetwork,
+    SweepTask,
     broadcast_messages,
     build_spanning_tree,
     multi_source_hop_bfs,
+    run_path_sweeps,
     vector_enabled,
 )
 from repro.congest import kernels
+from repro.congest.dispatch import dispatch as run_primitive
+from repro.congest.dispatch import registry as primitive_registry
 from repro.congest.metrics import RoundLedger
 from repro.core.hop_bfs import pruned_max_hop_bfs
 from repro.graphs import (
@@ -40,6 +49,8 @@ from repro.graphs import (
     power_law_instance,
     random_instance,
 )
+from repro.telemetry import counters as counters_mod
+from repro.telemetry import tooling
 
 #: (delay-fn or None) choices; weights in the fuzz graphs are 1..5.
 DELAYS = (None, lambda w: w, lambda w: 2 * w - 1, lambda w: min(w, 3))
@@ -108,20 +119,6 @@ class TestPrunedHopBfsFuzz:
                     sense=sense, select=select)
                 out[fabric] = (tables, ledger_snapshot(net.ledger))
             assert out["vector"] == out["fast"], trial
-
-    def test_non_functional_aux_falls_back_identically(self):
-        # Two seeds share an index with different aux words: the kernel
-        # must decline and the message path must serve the call.
-        instance = random_instance(14, seed=3)
-        seeds = {instance.path[0]: (0, 5), instance.path[1]: (0, 9)}
-        assert not kernels.hop_bfs_vector_applicable(
-            instance.build_network(fabric="vector"), seeds)
-        out = {}
-        for fabric in ("fast", "vector"):
-            net = instance.build_network(fabric=fabric)
-            tables = pruned_max_hop_bfs(net, seeds, 5)
-            out[fabric] = (tables, ledger_snapshot(net.ledger))
-        assert out["vector"] == out["fast"]
 
     def test_early_exit_records_started_idle_rounds(self):
         # The run_full_budget=False exit must charge every round that
@@ -289,3 +286,292 @@ class TestKernelGating:
                                err.value.words,
                                ledger_snapshot(net.ledger))
         assert details["vector"] == details["fast"]
+
+
+# -- registry-parametrized forced fallbacks -----------------------------------
+
+#: the first integer past the int64-safe value range.
+BIG = 1 << 63
+
+
+def _sweep_values(results):
+    return {k: (r.final, r.trace) for k, r in sorted(results.items())}
+
+
+def _tree_tuple(tree):
+    return (list(tree.parent), list(tree.depth),
+            [list(c) for c in tree.children])
+
+
+def _hop_bfs_big_aux(inst, net):
+    return pruned_max_hop_bfs(net, {inst.path[0]: (0, BIG)}, 4)
+
+
+def _hop_bfs_clashing_aux(inst, net):
+    # Two seeds share an index with different aux words.
+    seeds = {inst.path[0]: (0, 5), inst.path[1]: (0, 9)}
+    return pruned_max_hop_bfs(net, seeds, 5)
+
+
+def _hop_bfs_delay_overflow(inst, net):
+    return pruned_max_hop_bfs(net, {inst.path[0]: (0, 3)}, 3,
+                              delay=lambda w: BIG)
+
+
+def _multisource_huge_hop_limit(inst, net):
+    # (hop_limit + 2) * k no longer fits the int64 priority key; the
+    # message lane terminates at quiescence regardless of the budget.
+    return multi_source_hop_bfs(net, [inst.s, inst.t], 2 ** 62)
+
+
+def _multisource_bad_source(inst, net):
+    # The message path owns the error behavior for out-of-range ids.
+    return multi_source_hop_bfs(net, [net.n + 3], 3)
+
+
+def _multisource_delay_overflow(inst, net):
+    return multi_source_hop_bfs(net, [inst.s], 4, delay=lambda w: BIG)
+
+
+def _chain_flood_big_prefix(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    prefix = [i * BIG for i in range(h + 1)]
+    with net.ledger.phase("chain-flood"):
+        return run_primitive("chain_flood", net, path=path,
+                             sampled=[0, h], prefix=prefix)
+
+
+def _dp_sweep_negative_zeta(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    return run_primitive("dp_sweep", net, path=path,
+                         x_geq=[{} for _ in range(h + 1)],
+                         hop_count=h, zeta=-1, name="dp-pipeline(L4.4)")
+
+
+def _sweeps_closure_task(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    values = list(range(h + 1))
+    tasks = [SweepTask(key="c", start=0, end=h, init=h,
+                       combine=lambda p, v: min(v, values[p]))]
+    return _sweep_values(run_path_sweeps(net, path, tasks))
+
+
+def _sweeps_float_init(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    tasks = [SweepTask(key="f", start=0, end=h, init=0.5,
+                       local_min=list(range(h + 1)))]
+    return _sweep_values(run_path_sweeps(net, path, tasks))
+
+
+def _sweeps_duplicate_keys(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    table = list(range(h + 1))
+    tasks = [SweepTask(key="k", start=0, end=h, init=9,
+                       local_min=table),
+             SweepTask(key="k", start=0, end=h, init=7,
+                       local_min=table)]
+    return _sweep_values(run_path_sweeps(net, path, tasks))
+
+
+def _sweeps_overlapping_groups(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    table = list(range(h + 1))
+    tasks = [SweepTask(key="a", start=0, end=h, init=9,
+                       local_min=table),
+             SweepTask(key="b", start=1, end=h, init=7,
+                       local_min=table)]
+    return _sweep_values(run_path_sweeps(net, path, tasks))
+
+
+def _n_shift_float_rows(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    rows = [[0.5 * i for i in range(h + 1)], [float(h)] * (h + 1)]
+    with net.ledger.phase("N-shift"):
+        return run_primitive("n_shift", net, path=path, rows=rows,
+                             hop_count=h)
+
+
+#: (primitive, fallback reason) -> a call violating exactly that
+#: declared constraint (or escape hatch).  The coverage test below
+#: asserts this table matches the registry's declarations one-to-one.
+FALLBACK_CASES = {
+    ("hop_bfs", "value-out-of-int64"): _hop_bfs_big_aux,
+    ("hop_bfs", "non-functional-aux"): _hop_bfs_clashing_aux,
+    ("hop_bfs", "delay-overflow"): _hop_bfs_delay_overflow,
+    ("multisource", "key-encoding-overflow"): _multisource_huge_hop_limit,
+    ("multisource", "source-out-of-range"): _multisource_bad_source,
+    ("multisource", "delay-overflow"): _multisource_delay_overflow,
+    ("chain_flood", "value-out-of-int64"): _chain_flood_big_prefix,
+    ("dp_sweep", "value-out-of-int64"): _dp_sweep_negative_zeta,
+    ("path_sweeps", "non-declarative-task"): _sweeps_closure_task,
+    ("path_sweeps", "value-out-of-int64"): _sweeps_float_init,
+    ("path_sweeps", "duplicate-keys"): _sweeps_duplicate_keys,
+    ("path_sweeps", "overlapping-groups"): _sweeps_overlapping_groups,
+    ("n_shift", "value-out-of-int64"): _n_shift_float_rows,
+}
+
+
+def _broadcast_valid(inst, net):
+    tree = build_spanning_tree(net)
+    return broadcast_messages(net, tree, {inst.s: [("m", 1)]})
+
+
+def _chain_flood_valid(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    prefix = list(range(0, 3 * (h + 1), 3))
+    with net.ledger.phase("chain-flood"):
+        return run_primitive("chain_flood", net, path=path,
+                             sampled=[0, h], prefix=prefix)
+
+
+def _dp_sweep_valid(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    x_geq = [{i + 1: 2 * i} for i in range(h + 1)]
+    return run_primitive("dp_sweep", net, path=path, x_geq=x_geq,
+                         hop_count=h, zeta=3, name="dp-pipeline(L4.4)")
+
+
+def _sweeps_valid(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    tasks = [SweepTask(key="a", start=0, end=h, init=h,
+                       local_min=list(range(h + 1)), deposit=True)]
+    return _sweep_values(run_path_sweeps(net, path, tasks))
+
+
+def _n_shift_valid(inst, net):
+    path, h = inst.path, len(inst.path) - 1
+    rows = [[3 * i for i in range(h + 1)], [h] * (h + 1)]
+    with net.ledger.phase("N-shift"):
+        return run_primitive("n_shift", net, path=path, rows=rows,
+                             hop_count=h)
+
+
+def _landmark_completion_valid(inst, net):
+    return run_primitive(
+        "landmark_completion", net, closure=[[0, 2], [2, 0]],
+        from_len=[[1] * net.n, [3] * net.n],
+        to_len=[[2] * net.n, [1] * net.n])
+
+
+def _pairwise_min_sum_valid(inst, net):
+    return run_primitive("pairwise_min_sum", net,
+                         m_rows=[[1, 5, 2]], n_rows=[[4, 0, 3]])
+
+
+#: primitive -> a call satisfying every declared constraint (runs on
+#: the kernel when nothing gates it).  Drives the global-gate cases.
+VALID_CALLS = {
+    "hop_bfs": lambda inst, net: pruned_max_hop_bfs(
+        net, {v: (i, 7 * i + 3) for i, v in enumerate(inst.path)}, 5),
+    "multisource": lambda inst, net: multi_source_hop_bfs(
+        net, [inst.s, inst.t], 5),
+    "broadcast": _broadcast_valid,
+    "chain_flood": _chain_flood_valid,
+    "dp_sweep": _dp_sweep_valid,
+    "path_sweeps": _sweeps_valid,
+    "spanning_tree": lambda inst, net: _tree_tuple(
+        build_spanning_tree(net)),
+    "n_shift": _n_shift_valid,
+    "landmark_completion": _landmark_completion_valid,
+    "pairwise_min_sum": _pairwise_min_sum_valid,
+}
+
+
+def _outcome(scenario, inst, net):
+    """Run a scenario, folding raises into a comparable value."""
+    try:
+        return ("ok", scenario(inst, net))
+    except Exception as exc:  # noqa: BLE001 - equivalence of errors
+        return ("raise", type(exc).__name__, str(exc))
+
+
+def _dispatch_row_set():
+    counters = counters_mod.registry.snapshot()["counters"]
+    return {(kernel, outcome, reason)
+            for kernel, outcome, reason, _ in
+            tooling.dispatch_rows(counters)}
+
+
+class TestRegistryForcedFallbacks:
+    """Every declared constraint gets an automatic equivalence case.
+
+    Parametrized over the registry itself: registering a new
+    constraint (or a new primitive with constraints) without adding a
+    violating call to :data:`FALLBACK_CASES` fails the coverage test,
+    so the table cannot silently lag the dispatcher.
+    """
+
+    INSTANCE_ARGS = dict(n=16, seed=5)
+
+    @pytest.fixture(autouse=True)
+    def _fresh_counters(self):
+        counters_mod.registry.reset()
+        yield
+        counters_mod.registry.reset()
+
+    def _instance(self):
+        instance = random_instance(
+            self.INSTANCE_ARGS["n"], seed=self.INSTANCE_ARGS["seed"])
+        # The sweep-group and clashing-aux cases need a few path hops.
+        assert instance.hop_count >= 3
+        return instance
+
+    def test_every_declared_constraint_has_a_case(self):
+        declared = set()
+        for name, prim in primitive_registry().items():
+            declared |= {(name, c.reason) for c in prim.constraints}
+            if prim.escape_reason is not None:
+                declared.add((name, prim.escape_reason))
+        assert declared == set(FALLBACK_CASES)
+
+    def test_valid_calls_cover_every_primitive(self):
+        assert set(VALID_CALLS) == set(primitive_registry())
+
+    @pytest.mark.parametrize("primitive,reason", sorted(FALLBACK_CASES))
+    def test_forced_fallback_is_bit_identical(self, primitive, reason):
+        scenario = FALLBACK_CASES[(primitive, reason)]
+        instance = self._instance()
+        out = {}
+        for fabric in ("fast", "vector"):
+            counters_mod.registry.reset()
+            net = instance.build_network(fabric=fabric)
+            out[fabric] = (_outcome(scenario, instance, net),
+                           ledger_snapshot(net.ledger))
+            if fabric == "vector":
+                rows = _dispatch_row_set()
+                assert (primitive, "fallback", reason) in rows
+                assert not any(k == primitive and o == "vector"
+                               for k, o, _ in rows)
+        assert out["vector"] == out["fast"]
+
+    @pytest.mark.parametrize("primitive", sorted(VALID_CALLS))
+    def test_valid_call_takes_the_kernel(self, primitive):
+        # Guards the gate test below: the valid call must pass every
+        # per-call constraint, so the only thing standing between it
+        # and the kernel is a global gate.
+        instance = self._instance()
+        net = instance.build_network(fabric="vector")
+        VALID_CALLS[primitive](instance, net)
+        rows = _dispatch_row_set()
+        assert (primitive, "vector", "") in rows
+        assert not any(k == primitive and o == "fallback"
+                       for k, o, _ in rows)
+
+    @pytest.mark.parametrize("primitive", sorted(VALID_CALLS))
+    def test_link_totals_gate_forces_fallback(self, primitive):
+        scenario = VALID_CALLS[primitive]
+        instance = self._instance()
+        out = {}
+        for fabric in ("fast", "vector"):
+            counters_mod.registry.reset()
+            net = instance.build_network(fabric=fabric)
+            net.record_link_totals = True
+            out[fabric] = (_outcome(scenario, instance, net),
+                           ledger_snapshot(net.ledger))
+            if fabric == "vector":
+                rows = _dispatch_row_set()
+                assert (primitive, "fallback",
+                        "record-link-totals") in rows
+                assert not any(k == primitive and o == "vector"
+                               for k, o, _ in rows)
+        assert out["vector"] == out["fast"]

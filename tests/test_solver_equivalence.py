@@ -24,6 +24,7 @@ from repro.congest import (
     build_spanning_tree,
 )
 from repro.congest import kernels
+from repro.congest.dispatch import check as dispatch_check
 from repro.congest.metrics import RoundLedger
 from repro.congest.pipeline import SweepTask, run_path_sweeps
 from repro.core.knowledge import acquire_path_knowledge, oracle_knowledge
@@ -252,7 +253,8 @@ class TestPathSweepKernel:
                            deposit=True)]
         net = CongestNetwork(n, [(i, i + 1) for i in range(n - 1)],
                              fabric="vector")
-        assert not kernels.path_sweeps_vector_applicable(net, tasks)
+        assert (dispatch_check("path_sweeps", net, tasks=tasks)
+                == "non-declarative-task")
         out = {}
         for fabric in FABRICS:
             net = CongestNetwork(n, [(i, i + 1) for i in range(n - 1)],
@@ -276,7 +278,8 @@ class TestPathSweepKernel:
         ]
         net = CongestNetwork(n, [(i, i + 1) for i in range(n - 1)],
                              fabric="vector")
-        assert not kernels.path_sweeps_vector_applicable(net, tasks)
+        assert (dispatch_check("path_sweeps", net, tasks=tasks)
+                == "overlapping-groups")
         out = {}
         for fabric in FABRICS:
             net = CongestNetwork(n, [(i, i + 1) for i in range(n - 1)],

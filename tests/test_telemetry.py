@@ -109,7 +109,7 @@ class TestTracedBitIdentical:
         # All ten kernels hit the vector path on the vector fabric.
         hits = {k for k, o, r, _c in tooling.dispatch_rows(counters)
                 if o == "vector"}
-        assert hits == set(telemetry.dispatch.KNOWN_KERNELS)
+        assert hits == set(telemetry.dispatch.known_kernels())
 
 
 # -- promise 2: fork safety --------------------------------------------------
