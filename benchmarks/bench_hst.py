@@ -37,8 +37,8 @@ def bench_hst_dependence(benchmark):
              "theorem1 < mr24b <= trivial.")
     report("hst_dependence", text)
     # The reproduction's headline: the slope ordering.  Theorem 1 rides
-    # n^{2/3}·polylog (≈ 1.0–1.1 raw at these sizes, see bench_scaling
-    # for the log² correction); MR24b adds the √(n·h_st) broadcast;
+    # n^{2/3}·polylog (≈ 1.0–1.1 raw at these sizes, see
+    # bench_theorem1_slope for the log² correction); MR24b adds the √(n·h_st) broadcast;
     # the trivial baseline is ~h_st × SSSP ≈ quadratic here.
     assert slopes["theorem1"] < slopes["mr24b"] < slopes["trivial"]
     assert slopes["theorem1"] < 1.2

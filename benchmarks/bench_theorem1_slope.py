@@ -25,7 +25,7 @@ from _util import report, scenario_speedup
 SIZES = [32, 64, 128, 256]
 
 
-def bench_scaling_theorem1(benchmark):
+def bench_slope_theorem1(benchmark):
     def run():
         ns, rounds = [], []
         for hops in SIZES:
@@ -59,7 +59,7 @@ def bench_scaling_theorem1(benchmark):
     assert fit.r_squared > 0.9
 
 
-def bench_scaling_phase_breakdown(benchmark):
+def bench_slope_phase_breakdown(benchmark):
     """Per-phase round shares at one size — the Section 5 budget."""
     instance = path_with_chords_instance(128, seed=3, overlay_hub=True)
 
@@ -78,7 +78,7 @@ def bench_scaling_phase_breakdown(benchmark):
     assert rep.phase_rounds("long-detour(P5.1)") > 0
 
 
-def bench_scaling_runtime_executor(benchmark):
+def bench_slope_runtime_executor(benchmark):
     """The exact-solver sweep through the runtime executor.
 
     Same cells the old serial loop ran, now fanned out over the

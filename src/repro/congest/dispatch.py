@@ -5,9 +5,10 @@ choice is registered here exactly once, as *data*: its message-engine
 implementation, its vector (array-kernel) implementation, the
 constraints under which the vector implementation is bit-identical to
 the message engines, and its ledger-charging contract.  One
-:func:`dispatch` entry point replaces the per-call-site ``if
-kernels.X_vector_applicable(...)`` branches that used to make up
-DESIGN.md's hand-maintained fallback matrix.
+:func:`dispatch` entry point replaces the per-call-site applicability
+predicates that used to make up DESIGN.md's hand-maintained fallback
+matrix (the deprecated shims over them are gone since the scale-out
+PR).
 
 The registry is the single source of truth for three consumers:
 

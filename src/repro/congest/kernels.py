@@ -33,12 +33,21 @@ NumPy present, no key-encoding overflow, declarative sweep tasks) are
 declared as per-primitive constraints in the registry of
 :mod:`repro.congest.dispatch`, whose :func:`~repro.congest.dispatch.
 dispatch` entry point routes every call and falls back to the message
-path on the first failing constraint.  The historical
-``*_applicable`` predicates below survive only as deprecated shims
-over the registry's constraint checks.
+path on the first failing constraint.  (The historical applicability
+predicates lived here as deprecated shims for one release; they are
+gone — the registry is the only gatekeeper.)
 
 NumPy is imported lazily (module import never touches it), so the
 message engines remain importable — and fully functional — without it.
+
+The topology exports the kernels gather over follow the int32 memory
+diet (:class:`~repro.congest.topology.TopologyArrays`): indptr/
+indices/steps arrive as int32 whenever the value ranges permit and
+are **read-only**.  Kernels treat them as addressing data; any
+arithmetic that can outgrow int32 (hop sums against the budget, key
+encodings ``d·k + rank``) is performed in int64, upcasting at the
+gather site.  Value/distance arrays (INF sentinels at 2^60) always
+stay int64.
 
 Ledger parity leans on one structural invariant of the round-loop
 kernels: in any round, each directed link carries at most one message,
@@ -54,7 +63,6 @@ charges per-item sizes the same way the per-link FIFO engine does.
 from __future__ import annotations
 
 import functools
-import warnings
 from collections import deque
 from typing import (
     Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple,
@@ -214,76 +222,6 @@ def _raise_first_overload(net, senders, targets, size: int) -> None:
                                  net.bandwidth_words)
 
 
-# -- deprecated applicability shims ------------------------------------------
-
-
-def _shim_applicable(primitive: str, net, **call) -> bool:
-    """Backcompat body of the deprecated ``*_applicable`` predicates.
-
-    Delegates to the registry's pure constraint check; unlike the old
-    predicates, no dispatch counters are recorded (that is now
-    :func:`repro.congest.dispatch.dispatch`'s job).
-    """
-    warnings.warn(
-        f"kernels.{primitive}_vector_applicable is deprecated; use "
-        f"repro.congest.dispatch.check({primitive!r}, net, ...) is None",
-        DeprecationWarning, stacklevel=3)
-    from .dispatch import check
-    return check(primitive, net, **call) is None
-
-
-def hop_bfs_vector_applicable(net, seeds: Mapping[int, Value]) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("hop_bfs", net, seeds=seeds)
-
-
-def multisource_vector_applicable(net, sources: Sequence[int],
-                                  hop_limit: int) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("multisource", net, sources=sources,
-                            hop_limit=hop_limit)
-
-
-def broadcast_vector_applicable(net) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("broadcast", net)
-
-
-def chain_flood_vector_applicable(net, prefix: Sequence[int]) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("chain_flood", net, prefix=prefix)
-
-
-def dp_sweep_vector_applicable(net, zeta: int) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("dp_sweep", net, zeta=zeta)
-
-
-def path_sweeps_vector_applicable(net, tasks) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("path_sweeps", net, tasks=tasks)
-
-
-def n_shift_vector_applicable(net, rows) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("n_shift", net, rows=rows)
-
-
-def spanning_tree_vector_applicable(net) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("spanning_tree", net)
-
-
-def landmark_completion_vector_applicable(net) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("landmark_completion", net)
-
-
-def pairwise_min_sum_vector_applicable(net) -> bool:
-    """Deprecated shim over the registry constraint checks."""
-    return _shim_applicable("pairwise_min_sum", net)
-
-
 # -- pruned hop-BFS (Lemma 4.2) ---------------------------------------------
 
 
@@ -367,7 +305,10 @@ def pruned_max_hop_bfs_vector(
                     reduce_at(bucket, indices[slots],
                               np.repeat(fr_idx, counts))
                 else:
-                    arrive = (d - 1) + steps[slots]
+                    # Steps may be an int32 diet export; the hop sum
+                    # can exceed int32, so upcast at the gather site.
+                    arrive = (d - 1) + steps[slots].astype(
+                        np.int64, copy=False)
                     keep = arrive <= hop_limit
                     targets = indices[slots][keep]
                     if targets.size:

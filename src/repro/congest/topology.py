@@ -31,7 +31,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..telemetry import scale as _scale
 from .errors import UnknownVertexError
+
+#: Largest value an int32 export may hold; any array group whose value
+#: range exceeds this promotes back to int64 (the "memory diet" rule).
+_INT32_MAX = (1 << 31) - 1
+
+#: Cached send plans per topology: ``avoid_edges`` sets per run are few
+#: (the empty set, the instance's path edges, per-query failed edges),
+#: so a small FIFO bound keeps the cache from growing with query load.
+_SEND_CACHE_LIMIT = 8
 
 
 def _numpy():
@@ -61,7 +71,7 @@ def _flatten(lists: Sequence[List[int]]) -> Tuple[List[int], List[int]]:
 
 
 class TopologyArrays:
-    """Frozen int-array views of a :class:`CSRTopology` (NumPy int64).
+    """Frozen, read-only int-array views of a :class:`CSRTopology`.
 
     Built lazily, exactly once per topology, by
     :meth:`CSRTopology.arrays`; the vector kernels gather over these
@@ -70,38 +80,105 @@ class TopologyArrays:
     order), which is what avoid-edge masks are matched against;
     ``*_weights`` hold the slot-aligned edge weight so per-run delay
     step tables vectorize.
+
+    **Memory diet.**  Each array group picks the narrowest dtype its
+    value range permits — int32 when every value fits, int64 otherwise:
+
+    * *indices* (indptr/indices/link_receiver) hold vertex ids < n and
+      slot offsets ≤ nnz, so they fit int32 whenever both do;
+    * *keys* hold ``tail·n + head`` < n², so they promote to int64
+      already at n > 46340;
+    * *weights* promote when any edge weight exceeds int32.
+
+    Since one export is now shared across every solve of a run (and,
+    via :mod:`repro.runtime.sharedmem`, across worker processes), all
+    arrays are frozen with ``writeable=False``.  Kernels must treat
+    int32 operands as *addressing* data only: arithmetic that can
+    exceed int32 (hop sums, key encodings) upcasts to int64 at the
+    gather site.
     """
 
     __slots__ = (
         "out_indptr", "out_indices", "out_weights", "out_keys",
         "in_indptr", "in_indices", "in_weights", "in_keys",
         "nbr_indptr", "nbr_indices", "link_receiver",
+        "index_dtype", "key_dtype", "weight_dtype",
     )
 
-    def __init__(self, topology: "CSRTopology") -> None:
+    #: Field layout: (name, dtype role) — what the shared-memory
+    #: publisher serializes and the attach side reconstructs.
+    FIELDS = (
+        ("out_indptr", "index"), ("out_indices", "index"),
+        ("out_weights", "weight"), ("out_keys", "key"),
+        ("in_indptr", "index"), ("in_indices", "index"),
+        ("in_weights", "weight"), ("in_keys", "key"),
+        ("nbr_indptr", "index"), ("nbr_indices", "index"),
+        ("link_receiver", "index"),
+    )
+
+    def __init__(self, topology: Optional["CSRTopology"]) -> None:
+        if topology is None:
+            return  # shell for _from_arrays (shared-memory attach)
         np = _numpy()
         n = topology.n
         wbk = topology._weight_by_key
-        i64 = np.int64
-        self.out_indptr = np.asarray(topology.out_indptr, dtype=i64)
-        self.out_indices = np.asarray(topology.out_indices, dtype=i64)
-        self.in_indptr = np.asarray(topology.in_indptr, dtype=i64)
-        self.in_indices = np.asarray(topology.in_indices, dtype=i64)
-        self.nbr_indptr = np.asarray(topology.nbr_indptr, dtype=i64)
-        self.nbr_indices = np.asarray(topology.nbr_indices, dtype=i64)
-        self.link_receiver = np.asarray(topology.link_receiver, dtype=i64)
+        nnz = max(len(topology.out_indices), len(topology.in_indices),
+                  len(topology.nbr_indices))
+        idx = np.int32 if max(n, nnz) <= _INT32_MAX else np.int64
+        key = np.int32 if n * n - 1 <= _INT32_MAX else np.int64
+        max_w = max(wbk.values(), default=1)
+        wgt = np.int32 if max_w <= _INT32_MAX else np.int64
+        self.index_dtype = idx
+        self.key_dtype = key
+        self.weight_dtype = wgt
+        _scale.record_export(
+            _scale.ARRAY_INDICES, np.dtype(idx).name)
+        _scale.record_export(_scale.ARRAY_KEYS, np.dtype(key).name)
+        _scale.record_export(
+            _scale.ARRAY_WEIGHTS, np.dtype(wgt).name)
+        self.out_indptr = np.asarray(topology.out_indptr, dtype=idx)
+        self.out_indices = np.asarray(topology.out_indices, dtype=idx)
+        self.in_indptr = np.asarray(topology.in_indptr, dtype=idx)
+        self.in_indices = np.asarray(topology.in_indices, dtype=idx)
+        self.nbr_indptr = np.asarray(topology.nbr_indptr, dtype=idx)
+        self.nbr_indices = np.asarray(topology.nbr_indices, dtype=idx)
+        self.link_receiver = np.asarray(topology.link_receiver, dtype=idx)
         out_keys = [u * n + v
                     for u, row in enumerate(topology.out_lists)
                     for v in row]
         in_keys = [x * n + u
                    for u, row in enumerate(topology.in_lists)
                    for x in row]
-        self.out_keys = np.asarray(out_keys, dtype=i64)
-        self.in_keys = np.asarray(in_keys, dtype=i64)
+        self.out_keys = np.asarray(out_keys, dtype=key)
+        self.in_keys = np.asarray(in_keys, dtype=key)
         self.out_weights = np.asarray([wbk[k] for k in out_keys],
-                                      dtype=i64)
+                                      dtype=wgt)
         self.in_weights = np.asarray([wbk[k] for k in in_keys],
-                                     dtype=i64)
+                                     dtype=wgt)
+        self._freeze()
+
+    def _freeze(self) -> None:
+        for name, _role in self.FIELDS:
+            getattr(self, name).flags.writeable = False
+
+    @classmethod
+    def _from_arrays(cls, fields: Dict[str, object]) -> "TopologyArrays":
+        """Rebuild from prebuilt arrays (the shared-memory attach path).
+
+        The arrays are adopted as-is (typically read-only views over a
+        shared buffer); dtype roles are re-derived from the fields.
+        """
+        self = cls(None)
+        for name, role in cls.FIELDS:
+            setattr(self, name, fields[name])
+        self.index_dtype = fields["nbr_indices"].dtype.type
+        self.key_dtype = fields["out_keys"].dtype.type
+        self.weight_dtype = fields["out_weights"].dtype.type
+        return self
+
+    def nbytes(self) -> int:
+        """Total bytes of all exported arrays (the diet's scoreboard)."""
+        return sum(getattr(self, name).nbytes for name, _ in self.FIELDS)
 
 
 class CSRTopology:
@@ -123,7 +200,7 @@ class CSRTopology:
         "nbr_indptr", "nbr_indices",
         "out_lists", "in_lists", "nbr_lists",
         "link_receiver", "_link_index", "_weight_by_key",
-        "_edge_order", "_link_pairs", "_arrays",
+        "_edge_order", "_link_pairs", "_arrays", "_send_cache",
     )
 
     def __init__(self, n: int, edges: Iterable[Sequence[int]]) -> None:
@@ -187,6 +264,7 @@ class CSRTopology:
         self._edge_order = edge_order
         self._link_pairs: Optional[frozenset] = None
         self._arrays: Optional[TopologyArrays] = None
+        self._send_cache: Dict[Tuple[str, frozenset], tuple] = {}
 
     # -- accessors ---------------------------------------------------------
 
@@ -248,7 +326,15 @@ class CSRTopology:
     # -- array views (vector fabric) ---------------------------------------
 
     def arrays(self) -> TopologyArrays:
-        """NumPy int64 views of the frozen CSR (built once, cached).
+        """Read-only NumPy views of the frozen CSR (built once, cached).
+
+        One export backs *every* solve on this topology — the k-source
+        and landmark runs of a ``solve_rpaths`` execution, every batch
+        the serve planner answers, and (via
+        :mod:`repro.runtime.sharedmem`) the worker processes of a
+        ``parallel=`` fan-out all gather over the same frozen arrays
+        instead of re-materializing per call.  Dtypes follow the int32
+        memory diet (see :class:`TopologyArrays`).
 
         Requires NumPy; the message fabrics never call this, so the
         dependency stays confined to ``fabric="vector"`` executions.
@@ -262,15 +348,30 @@ class CSRTopology:
                     delay=None):
         """Array analog of :func:`downstream_step_tables`.
 
-        Returns ``(indptr, indices, steps)`` int64 arrays: the
-        avoid-filtered send adjacency for ``direction`` (``"out"``
-        follows edges, ``"in"`` walks them backward) together with the
-        per-slot exact-hop advance (1 without ``delay``, else
-        ``delay(weight)`` — the G_d subdivision of Section 7).  Built
-        per run, like the list tables: ``avoid_edges`` and ``delay``
-        are fixed for a whole run but vary across runs.
+        Returns ``(indptr, indices, steps)`` arrays: the avoid-filtered
+        send adjacency for ``direction`` (``"out"`` follows edges,
+        ``"in"`` walks them backward) together with the per-slot
+        exact-hop advance (1 without ``delay``, else ``delay(weight)``
+        — the G_d subdivision of Section 7).  Index arrays inherit the
+        topology export's diet dtype; steps are int32 when every step
+        fits, int64 otherwise (and the vector kernels upcast at their
+        arithmetic sites either way).
+
+        Delay-free plans are memoized per ``(direction, avoid_edges)``
+        — a run fixes its avoid set, so every k-source/landmark solve
+        of the run shares one read-only plan instead of rebuilding the
+        filter per call (``delay`` callables have no stable identity
+        and bypass the cache).  All returned arrays are frozen;
+        callers must not write into them.
         """
         np = _numpy()
+        cache_key = None
+        if delay is None:
+            cache_key = (direction, avoid_edges)
+            cached = self._send_cache.get(cache_key)
+            if cached is not None:
+                _scale.record_plan(_scale.PLAN_HIT)
+                return cached
         arr = self.arrays()
         if direction == "out":
             indptr, indices = arr.out_indptr, arr.out_indices
@@ -297,10 +398,13 @@ class CSRTopology:
             counts = np.bincount(tails, minlength=n)
             indptr = np.concatenate(
                 (np.zeros(1, dtype=np.int64),
-                 np.cumsum(counts, dtype=np.int64)))
+                 np.cumsum(counts, dtype=np.int64))).astype(
+                     arr.index_dtype, copy=False)
         if delay is None:
-            steps = np.ones(len(indices), dtype=np.int64)
+            steps = np.ones(len(indices), dtype=np.int32)
+            _scale.record_export(_scale.ARRAY_STEPS, "int32")
         else:
+            _scale.record_plan(_scale.PLAN_BYPASS)
             # Delay is an arbitrary Python callable; evaluate it once
             # per distinct weight so the per-slot table stays exact.
             uniq, inverse = np.unique(weights, return_inverse=True)
@@ -313,8 +417,20 @@ class CSRTopology:
                 # for pathological delay functions).
                 raise OverflowError(
                     "delay steps outside the vector kernels' range")
-            steps = (np.asarray(per_weight, dtype=np.int64)[inverse]
-                     if uniq.size else np.zeros(0, dtype=np.int64))
+            sdtype = (np.int32 if all(s <= _INT32_MAX
+                                      for s in per_weight)
+                      else np.int64)
+            _scale.record_export(_scale.ARRAY_STEPS,
+                                 np.dtype(sdtype).name)
+            steps = (np.asarray(per_weight, dtype=sdtype)[inverse]
+                     if uniq.size else np.zeros(0, dtype=sdtype))
+        for out in (indptr, indices, steps):
+            out.flags.writeable = False
+        if cache_key is not None:
+            _scale.record_plan(_scale.PLAN_BUILD)
+            if len(self._send_cache) >= _SEND_CACHE_LIMIT:
+                self._send_cache.pop(next(iter(self._send_cache)))
+            self._send_cache[cache_key] = (indptr, indices, steps)
         return indptr, indices, steps
 
 

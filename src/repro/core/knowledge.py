@@ -125,7 +125,6 @@ def acquire_path_knowledge(
     rng = random.Random(seed)
     path = list(instance.path)
     h = len(path) - 1
-    weights = instance.edge_weight_map()
     start_rounds = net.rounds
 
     with net.ledger.phase("knowledge(L2.5)"):
@@ -138,10 +137,11 @@ def acquire_path_knowledge(
         # -- step 2: rightward flood along P from each sampled vertex.
         # token at position p carries (origin position's vertex id, hops,
         # weighted dist from the origin).  Each vertex learns the record
-        # of its nearest sampled predecessor.
-        prefix = [0] * (h + 1)
-        for i in range(h):
-            prefix[i + 1] = prefix[i] + weights[(path[i], path[i + 1])]
+        # of its nearest sampled predecessor.  Prefix weights come from
+        # the instance directly — the edges of P are the path's own
+        # consecutive pairs, so materializing the full O(m) edge-weight
+        # map here was pure overhead at large n.
+        prefix = instance.path_prefix_weights()
         # Both lanes charge within this open phase: the vector kernel
         # bulk-charges the gap schedule (tokens advance in lockstep and
         # the records are prefix-weight differences), the message lane

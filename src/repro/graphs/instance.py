@@ -54,6 +54,8 @@ class RPathsInstance:
         default=None, repr=False, compare=False)
     _topology: Optional[object] = field(
         default=None, repr=False, compare=False)
+    _path_prefix: Optional[List[int]] = field(
+        default=None, repr=False, compare=False)
 
     # -- basic accessors -----------------------------------------------------
 
@@ -104,12 +106,20 @@ class RPathsInstance:
         return {(u, v): w for u, v, w in self.edges}
 
     def path_prefix_weights(self) -> List[int]:
-        """``pre[i]`` = weighted length of P[s, v_i]; pre[0] == 0."""
-        weights = self.edge_weight_map()
-        pre = [0]
-        for u, v in self.path_edges():
-            pre.append(pre[-1] + weights[(u, v)])
-        return pre
+        """``pre[i]`` = weighted length of P[s, v_i]; pre[0] == 0.
+
+        Cached, and resolved through the cached out-adjacency rather
+        than a throwaway O(m) edge-weight dict — at scale-out sizes
+        the map dwarfed the path it priced.
+        """
+        if self._path_prefix is None:
+            adj = self.adjacency()
+            pre = [0]
+            for u, v in self.path_edges():
+                w = next(wt for head, wt in adj[u] if head == v)
+                pre.append(pre[-1] + w)
+            self._path_prefix = pre
+        return list(self._path_prefix)
 
     @property
     def path_length(self) -> int:

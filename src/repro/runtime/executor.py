@@ -145,9 +145,36 @@ def pool_map(
     The returned list always has ``len(payloads)`` entries, one per
     payload in order — a worker (or fallback) that returns ``None``
     keeps its slot.  Other subsystems reuse this for non-cell work
-    (the sharded query service fans shard batches out through it).
+    (the sharded query service fans shard batches out through it, and
+    the ``parallel=`` solve fan-out ships shared-topology jobs here).
+
+    ``jobs <= 1`` runs every payload inline in this process — same
+    fallback/progress/counter semantics, no pool, no pickling — so
+    callers can thread a single ``jobs`` knob all the way down.
     """
     results: List[Optional[object]] = [None] * len(payloads)
+    if jobs <= 1:
+        for idx, payload in enumerate(payloads):
+            outcome = "ok"
+            wait_start = time.perf_counter()
+            try:
+                result = worker(payload)
+            except Exception as exc:  # noqa: BLE001 - pool failure
+                outcome = POOL_ERROR
+                if fallback is None:
+                    raise
+                result = fallback(payload, POOL_ERROR,
+                                  f"{type(exc).__name__}: {exc}")
+            finally:
+                _counters.registry.inc("repro_pool_items_total",
+                                       outcome=outcome)
+                _counters.registry.observe(
+                    "repro_pool_wait_seconds",
+                    time.perf_counter() - wait_start)
+            if progress is not None:
+                progress(result)
+            results[idx] = result
+        return list(results)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
             pool.submit(worker, payload): idx

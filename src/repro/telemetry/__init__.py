@@ -13,6 +13,9 @@ shards):
 * :mod:`~repro.telemetry.dispatch` — kernel dispatch accounting
   (vector hits vs message-path fallbacks) against the reason set
   derived from the primitive registry, which CI enforces.
+* :mod:`~repro.telemetry.scale` — scale-out accounting (int32 export
+  decisions, send-plan cache, shared-memory lifecycle, parallel
+  fan-out width, peak-RSS gauge), closed-enum enforced like dispatch.
 * :mod:`~repro.telemetry.sink` — append-only JSONL trace files, one
   per process, schema-versioned.
 * :mod:`~repro.telemetry.tooling` — the ``repro trace summary`` /
@@ -42,6 +45,15 @@ from .dispatch import (  # noqa: F401
     record_fallback,
     record_vector_hit,
     unknown_reasons,
+)
+from .scale import (  # noqa: F401
+    RSS_GAUGE,
+    record_export,
+    record_fanout,
+    record_peak_rss,
+    record_plan,
+    record_shm,
+    unknown_scale_labels,
 )
 from .sink import (  # noqa: F401
     SCHEMA,

@@ -234,6 +234,28 @@ def merge_counter_snapshots(snapshots: Iterable[Dict[str, object]],
     return total
 
 
+def merge_gauge_snapshots(snapshots: Iterable[Dict[str, object]],
+                          ) -> Dict[str, float]:
+    """Max-merge the ``gauges`` sections of several snapshots.
+
+    Gauges are point-in-time levels, so summing across processes (the
+    counter rule) would be meaningless; the run-wide view keeps each
+    series' maximum — exactly right for high-water marks like
+    :data:`repro.telemetry.scale.RSS_GAUGE` and a sane default for
+    the rest.
+    """
+    merged: Dict[str, float] = {}
+    for snap in snapshots:
+        gauges = snap.get("gauges")
+        if not isinstance(gauges, dict):
+            continue
+        for key, value in gauges.items():
+            if isinstance(value, (int, float)):
+                if key not in merged or value > merged[key]:
+                    merged[key] = value
+    return merged
+
+
 def snapshot_counters() -> Dict[str, object]:
     """Snapshot of the default registry (convenience)."""
     return registry.snapshot()

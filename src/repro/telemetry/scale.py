@@ -1,0 +1,155 @@
+"""Scale-out accounting: shared memory, fan-out, and dtype decisions.
+
+The scale-out machinery of the solver (int32 topology exports, the
+send-plan cache, ``multiprocessing.shared_memory`` topology sharing,
+and the ``parallel=`` fan-out of independent k-source solves) reports
+every decision here, mirroring the kernel-dispatch discipline of
+:mod:`repro.telemetry.dispatch`: each counter has a **closed label
+enum** declared next to its recording helper, and
+:func:`unknown_scale_labels` rejects anything outside it — which is
+what ``tests/test_telemetry.py`` enforces, ``--check-reasons`` style.
+
+Counter shapes::
+
+    repro_topology_export_total{array="indices",dtype="int32"}
+    repro_sendplan_cache_total{outcome="hit"}
+    repro_sharedmem_events_total{event="attach"}
+    repro_parallel_fanout_total{site="landmark-kbfs"}
+
+plus the ``repro_parallel_fanout_width`` summary (one sample per
+fan-out, the worker width) and the :data:`RSS_GAUGE` gauge that the
+benchmarks export so ``repro trace summary`` shows the peak RSS next
+to the per-phase costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .counters import parse_series, registry
+
+# -- int32-vs-int64 topology array exports -----------------------------------
+
+#: One event per array group of every TopologyArrays / send-plan build.
+EXPORT_COUNTER = "repro_topology_export_total"
+
+ARRAY_INDICES = "indices"
+ARRAY_KEYS = "keys"
+ARRAY_WEIGHTS = "weights"
+ARRAY_STEPS = "steps"
+
+KNOWN_EXPORT_ARRAYS = frozenset(
+    (ARRAY_INDICES, ARRAY_KEYS, ARRAY_WEIGHTS, ARRAY_STEPS))
+
+DTYPE_INT32 = "int32"
+DTYPE_INT64 = "int64"
+
+KNOWN_EXPORT_DTYPES = frozenset((DTYPE_INT32, DTYPE_INT64))
+
+
+def record_export(array: str, dtype: str) -> None:
+    """Count one dtype decision for an exported topology array group."""
+    registry.inc(EXPORT_COUNTER, array=array, dtype=dtype)
+
+
+# -- send-plan cache ----------------------------------------------------------
+
+#: One event per ``CSRTopology.send_arrays`` call.
+PLAN_CACHE_COUNTER = "repro_sendplan_cache_total"
+
+PLAN_HIT = "hit"
+PLAN_BUILD = "build"
+#: Uncacheable call (a ``delay`` callable keys no stable identity).
+PLAN_BYPASS = "bypass"
+
+KNOWN_PLAN_OUTCOMES = frozenset((PLAN_HIT, PLAN_BUILD, PLAN_BYPASS))
+
+
+def record_plan(outcome: str) -> None:
+    """Count one send-plan request by cache outcome."""
+    registry.inc(PLAN_CACHE_COUNTER, outcome=outcome)
+
+
+# -- shared-memory topology lifecycle -----------------------------------------
+
+#: One event per shared-memory lifecycle transition.
+SHM_COUNTER = "repro_sharedmem_events_total"
+
+SHM_PUBLISH = "publish"
+SHM_ATTACH = "attach"
+SHM_DETACH = "detach"
+SHM_UNLINK = "unlink"
+
+KNOWN_SHM_EVENTS = frozenset(
+    (SHM_PUBLISH, SHM_ATTACH, SHM_DETACH, SHM_UNLINK))
+
+
+def record_shm(event: str) -> None:
+    """Count one shared-memory lifecycle event."""
+    registry.inc(SHM_COUNTER, event=event)
+
+
+# -- parallel fan-out ---------------------------------------------------------
+
+#: One event per fan-out decision (a batch of tasks handed to the pool).
+FANOUT_COUNTER = "repro_parallel_fanout_total"
+
+#: The forward/backward landmark kBFS pair of ``solve_rpaths``.
+SITE_LANDMARK_KBFS = "landmark-kbfs"
+#: The per-(failed edge, source chunk) solves of ``BatchPlanner``.
+SITE_SERVE_BATCH = "serve-batch"
+
+KNOWN_FANOUT_SITES = frozenset((SITE_LANDMARK_KBFS, SITE_SERVE_BATCH))
+
+#: Summary of worker widths, one sample per fan-out.
+FANOUT_WIDTH_SUMMARY = "repro_parallel_fanout_width"
+
+
+def record_fanout(site: str, width: int) -> None:
+    """Count one fan-out and record the worker width it used."""
+    registry.inc(FANOUT_COUNTER, site=site)
+    registry.observe(FANOUT_WIDTH_SUMMARY, width, site=site)
+
+
+# -- peak RSS gauge -----------------------------------------------------------
+
+#: Peak resident set size (bytes, via ``resource.getrusage``); exported
+#: by the scale benchmark so ``repro trace summary`` surfaces it.
+RSS_GAUGE = "repro_peak_rss_bytes"
+
+
+def record_peak_rss(rss_bytes: float) -> None:
+    registry.set_gauge(RSS_GAUGE, rss_bytes)
+
+
+# -- closed-enum enforcement --------------------------------------------------
+
+#: Counter name -> {label key: legal values} (the whole closed surface).
+_ENUMS: Dict[str, Dict[str, frozenset]] = {
+    EXPORT_COUNTER: {"array": KNOWN_EXPORT_ARRAYS,
+                     "dtype": KNOWN_EXPORT_DTYPES},
+    PLAN_CACHE_COUNTER: {"outcome": KNOWN_PLAN_OUTCOMES},
+    SHM_COUNTER: {"event": KNOWN_SHM_EVENTS},
+    FANOUT_COUNTER: {"site": KNOWN_FANOUT_SITES},
+}
+
+
+def unknown_scale_labels(counters: Dict[str, float]) -> List[str]:
+    """Scale-counter labels outside the closed enums above.
+
+    Mirrors :func:`repro.telemetry.dispatch.unknown_reasons`: a
+    non-empty return fails the telemetry enum test, so a new shared
+    memory event / fan-out site / export array cannot ship without
+    being declared here.
+    """
+    bad: List[str] = []
+    for key in counters:
+        name, labels = parse_series(key)
+        enums = _ENUMS.get(name)
+        if enums is None:
+            continue
+        for label, legal in enums.items():
+            value = labels.get(label)
+            if value not in legal:
+                bad.append(f"{name}:{label}:{value or '<missing>'}")
+    return sorted(set(bad))

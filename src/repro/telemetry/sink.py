@@ -109,9 +109,11 @@ def read_trace(path) -> Tuple[List[Dict[str, object]],
     * ``counters`` — the merged counter values (freshest snapshot per
       pid, summed across pids);
     * ``info`` — reader diagnostics: files read, bad lines skipped,
-      unknown schema versions encountered, and any ``meta`` events.
+      unknown schema versions encountered, any ``meta`` events, and
+      ``gauges`` (freshest snapshot per pid, max across pids — the
+      high-water-mark merge, e.g. peak RSS).
     """
-    from .counters import merge_counter_snapshots
+    from .counters import merge_counter_snapshots, merge_gauge_snapshots
     root = pathlib.Path(path)
     if not root.exists():
         raise FileNotFoundError(f"no trace at {root}")
@@ -152,6 +154,8 @@ def read_trace(path) -> Tuple[List[Dict[str, object]],
                 meta.append(event)
     counters = merge_counter_snapshots(
         data for _seq, data in latest.values())
+    gauges = merge_gauge_snapshots(
+        data for _seq, data in latest.values())
     info: Dict[str, object] = {
         "files": len(files),
         "processes": len(latest) or len({s.get("pid") for s in spans}),
@@ -159,6 +163,7 @@ def read_trace(path) -> Tuple[List[Dict[str, object]],
         "bad_lines": bad_lines,
         "versions": sorted(versions),
         "meta": meta,
+        "gauges": gauges,
     }
     unknown = [v for v in versions if v != SCHEMA]
     if unknown:

@@ -48,6 +48,8 @@ class TraceSummary:
     aggregates: Dict[str, SpanAggregate] = field(default_factory=dict)
     slowest: List[Dict[str, object]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Max-merged gauge levels (e.g. ``repro_peak_rss_bytes``).
+    gauges: Dict[str, float] = field(default_factory=dict)
     info: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -82,7 +84,9 @@ class TraceSummary:
             ],
             "unknown_reasons": self.unknown_reasons(),
             "counters": self.counters,
-            "info": {k: v for k, v in self.info.items() if k != "meta"},
+            "gauges": self.gauges,
+            "info": {k: v for k, v in self.info.items()
+                     if k not in ("meta", "gauges")},
         }
 
 
@@ -91,7 +95,12 @@ def summarize(spans: List[Dict[str, object]],
               info: Optional[Dict[str, object]] = None,
               top: int = 10) -> TraceSummary:
     """Roll a trace up into per-name aggregates + top-N slowest spans."""
-    summary = TraceSummary(counters=dict(counters), info=dict(info or {}))
+    info = dict(info or {})
+    gauges = info.get("gauges")
+    summary = TraceSummary(
+        counters=dict(counters),
+        gauges=dict(gauges) if isinstance(gauges, dict) else {},
+        info=info)
     for event in spans:
         name = str(event.get("name", "?"))
         agg = summary.aggregates.get(name)
@@ -164,6 +173,17 @@ def format_summary(summary: TraceSummary, title: str = "") -> str:
         blocks.append(format_table(
             ["kernel", "outcome", "reason", "count"], rows,
             title="kernel dispatch (vector hits vs fallbacks)"))
+
+    if summary.gauges:
+        rows = []
+        for series, value in sorted(summary.gauges.items()):
+            shown = (f"{value / (1 << 20):.1f} MiB"
+                     if series.startswith("repro_peak_rss")
+                     else f"{value:.6g}")
+            rows.append([series, shown])
+        blocks.append(format_table(
+            ["gauge", "level"], rows,
+            title="gauges (max across processes)"))
     unknown = summary.unknown_reasons()
     if unknown:
         blocks.append("UNKNOWN fallback reasons/kernels: "

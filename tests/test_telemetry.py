@@ -470,3 +470,68 @@ class TestServeStats:
         text = service.exposition()
         assert "repro_serve_shard_queries" in text
         assert "# TYPE" in text
+
+
+# -- scale-out counter enums -------------------------------------------------
+
+
+class TestScaleEnums:
+    """The scale-out counters are a closed surface, dispatch-style."""
+
+    def test_real_scaleout_run_emits_only_known_labels(self):
+        pytest.importorskip("numpy")
+        instance = random_instance(40, seed=23)
+        solve_rpaths(instance, fabric="vector", parallel=2)
+        counters = counters_mod.registry.snapshot()["counters"]
+        from repro.telemetry import scale
+        # The run actually exercised the surface being enum-checked.
+        assert any(k.startswith(scale.EXPORT_COUNTER)
+                   for k in counters)
+        assert any(k.startswith(scale.SHM_COUNTER) for k in counters)
+        assert any(k.startswith(scale.FANOUT_COUNTER)
+                   for k in counters)
+        assert telemetry.unknown_scale_labels(counters) == []
+
+    def test_every_recording_helper_is_in_enum(self):
+        from repro.telemetry import scale
+        for array in scale.KNOWN_EXPORT_ARRAYS:
+            for dtype in scale.KNOWN_EXPORT_DTYPES:
+                scale.record_export(array, dtype)
+        for outcome in scale.KNOWN_PLAN_OUTCOMES:
+            scale.record_plan(outcome)
+        for event in scale.KNOWN_SHM_EVENTS:
+            scale.record_shm(event)
+        for site in scale.KNOWN_FANOUT_SITES:
+            scale.record_fanout(site, 2)
+        counters = counters_mod.registry.snapshot()["counters"]
+        assert telemetry.unknown_scale_labels(counters) == []
+
+    def test_unknown_scale_labels_flagged(self):
+        from repro.telemetry import scale
+        counters = {
+            'repro_sharedmem_events_total{event="explode"}': 1.0,
+            'repro_parallel_fanout_total{site="somewhere"}': 1.0,
+            'repro_topology_export_total{array="keys",'
+            'dtype="float64"}': 1.0,
+            "repro_sendplan_cache_total": 1.0,  # missing label
+        }
+        unknown = scale.unknown_scale_labels(counters)
+        assert any("explode" in u for u in unknown)
+        assert any("somewhere" in u for u in unknown)
+        assert any("float64" in u for u in unknown)
+        assert any("<missing>" in u for u in unknown)
+
+    def test_gauges_surface_in_summary(self, tmp_path):
+        from repro.telemetry import scale
+        telemetry.enable_tracing(tmp_path)
+        try:
+            scale.record_peak_rss(2.0 * (1 << 30))
+            telemetry.flush()
+        finally:
+            telemetry.disable_tracing()
+        summary = tooling.load_summary(tmp_path)
+        assert summary.gauges[scale.RSS_GAUGE] == 2.0 * (1 << 30)
+        rendered = tooling.format_summary(summary)
+        assert "repro_peak_rss_bytes" in rendered
+        assert "2048.0 MiB" in rendered
+        assert "gauges" in summary.as_json()
