@@ -18,6 +18,14 @@ Three workload families measure what the serving layer buys:
 * ``adversarial-batched`` — the memo-defeating failed-edge schedule,
   same baseline; only the k-source grouping amortizes anything here,
   so this family bounds the tier's worst case.
+* ``daemon-loop`` — the serve daemon (long-lived worker processes
+  that warm their shards once, :mod:`repro.serve.daemon`) under a
+  closed-loop multi-client load via the admission front-end, against
+  the cold ``pool_map`` status quo it replaces:
+  ``ShardedQueryService.serve_parallel`` with no spill store, where
+  every batch respawns the pool and rebuilds every oracle.  Gated on
+  the ISSUE's >= 5x sustained-QPS floor plus a p95 latency ceiling;
+  p50/p95/p99 land in the committed JSON.
 
 Every family verifies every answer against the centralized oracle
 before any throughput number is reported — a mismatch exits non-zero
@@ -64,8 +72,13 @@ from repro.graphs.generators import (  # noqa: E402
 from repro.serve import (  # noqa: E402
     BatchPlanner,
     ReplacementPathOracle,
+    ServeDaemon,
+    ServeFrontend,
+    ShardedQueryService,
     generate_workload,
     hit_ratio,
+    latency_summary_ms,
+    run_load,
     verify_against_centralized,
 )
 
@@ -76,6 +89,16 @@ ORACLE_FAMILY = "oracle-hit"
 
 #: Batched planning must never lose to the per-query fabric path.
 MIN_BATCH_SPEEDUP = 1.0
+
+#: Warm daemon vs. cold pool_map serving (the ISSUE acceptance
+#: criterion for the daemon tier): sustained closed-loop QPS must be
+#: at least this multiple of the per-batch-rebuild path.
+MIN_DAEMON_SPEEDUP = 5.0
+DAEMON_FAMILY = "daemon-loop"
+
+#: Absolute p95 ceiling (ms) for ok requests in the daemon family —
+#: the committed latency SLO the CI smoke step also enforces.
+MAX_DAEMON_P95_MS = 75.0
 
 
 @contextmanager
@@ -119,6 +142,16 @@ def measure_oracle_hit(quick: bool) -> Dict[str, object]:
         serve_time = time.perf_counter() - start
     _verify_or_die(ORACLE_FAMILY, instance, answers)
 
+    # Per-answer latency percentiles over a warm sample (the bulk loop
+    # above owns the throughput number; individually timed answers
+    # carry the clock overhead, so they are a separate pass).
+    per_answer = []
+    for q in stream[:200]:
+        t0 = time.perf_counter()
+        oracle.answer(q)
+        per_answer.append(time.perf_counter() - t0)
+    latency = latency_summary_ms(per_answer)
+
     # The status quo: every query re-runs the full pipeline.  A couple
     # of timed solves pin down the per-query rate.
     with _quiet_gc():
@@ -136,6 +169,9 @@ def measure_oracle_hit(quick: bool) -> Dict[str, object]:
         "qps": round(qps, 1),
         "baseline_qps": round(baseline_qps, 3),
         "speedup": round(qps / baseline_qps, 1),
+        "p50_ms": round(latency["p50"], 4),
+        "p95_ms": round(latency["p95"], 4),
+        "p99_ms": round(latency["p99"], 4),
         "hit_ratio": round(hit_ratio(answers), 4),
         "build_seconds": round(build_time, 4),
         "build_rounds": oracle.build_rounds,
@@ -201,11 +237,100 @@ def measure_batched(kind: str, quick: bool,
     }
 
 
+def measure_daemon_loop(quick: bool) -> Dict[str, object]:
+    """Warm serve-daemon closed-loop QPS vs. cold pool_map serving.
+
+    Both sides answer the same oracle-hit stream over the same
+    catalog.  The cold side is ``serve_parallel`` with **no spill
+    store**: each batch spawns a pool whose workers rebuild their
+    oracles from scratch — exactly what every batch paid before the
+    daemon existed.  The daemon side pays its warm once (reported, not
+    timed) and then serves from long-lived workers through the
+    admission front-end under ``concurrency`` closed-loop clients.
+    """
+    # Sized so oracle construction dominates the cold side, as it does
+    # at deployment scale: below n ≈ 40 a theorem1 build is a few ms
+    # and the cold pool path is mostly spawn overhead, which under-
+    # states what warm workers save.
+    n = 56 if quick else 72
+    per_instance = 50 if quick else 200
+    batches = 3
+    concurrency = 4
+    instances = [
+        random_instance(n, seed=10 + i, name=f"daemon-{n}-{i}")
+        for i in range(3)
+    ]
+    queries = []
+    for i, inst in enumerate(instances):
+        queries.extend(generate_workload(
+            "uniform", inst, per_instance, seed=20 + i))
+
+    cold = ShardedQueryService(instances, shards=2,
+                               solver="theorem1", build_seed=0)
+    batch_size = (len(queries) + batches - 1) // batches
+    cold_answers = []
+    with _quiet_gc():
+        start = time.perf_counter()
+        for b in range(batches):
+            chunk = queries[b * batch_size:(b + 1) * batch_size]
+            report = cold.serve_parallel(chunk, jobs=2)
+            cold_answers.extend(report.answers)
+        cold_time = time.perf_counter() - start
+    if not verify_against_centralized(instances, cold_answers):
+        raise AssertionError(
+            f"{DAEMON_FAMILY}: cold pool_map answers contradict the "
+            "centralized oracle")
+
+    warm_start = time.perf_counter()
+    daemon = ServeDaemon(instances, workers=2, solver="theorem1",
+                         build_seed=0).start()
+    warm_time = time.perf_counter() - warm_start
+    try:
+        frontend = ServeFrontend(daemon, max_queue=512,
+                                 max_inflight=128)
+        try:
+            with _quiet_gc():
+                results, load = run_load(
+                    frontend, queries, mode="closed",
+                    concurrency=concurrency)
+        finally:
+            frontend.close()
+    finally:
+        daemon.stop()
+    if load.ok != load.sent:
+        raise AssertionError(
+            f"{DAEMON_FAMILY}: non-ok outcomes {load.outcomes}")
+    answers = [r.answer for r in results]
+    if not verify_against_centralized(instances, answers):
+        raise AssertionError(
+            f"{DAEMON_FAMILY}: daemon answers contradict the "
+            "centralized oracle")
+
+    qps = load.achieved_qps
+    baseline_qps = len(queries) / cold_time
+    return {
+        "n": n,
+        "instances": len(instances),
+        "queries": len(queries),
+        "concurrency": concurrency,
+        "qps": round(qps, 1),
+        "baseline_qps": round(baseline_qps, 1),
+        "speedup": round(qps / baseline_qps, 2),
+        "p50_ms": round(load.latency_ms["p50"], 4),
+        "p95_ms": round(load.latency_ms["p95"], 4),
+        "p99_ms": round(load.latency_ms["p99"], 4),
+        "hit_ratio": round(hit_ratio(answers), 4),
+        "warm_seconds": round(warm_time, 4),
+        "cold_batches": batches,
+    }
+
+
 def measure_all(quick: bool) -> Dict[str, dict]:
     return {
         ORACLE_FAMILY: measure_oracle_hit(quick),
         "zipf-batched": measure_batched("zipf", quick),
         "adversarial-batched": measure_batched("adversarial", quick),
+        DAEMON_FAMILY: measure_daemon_loop(quick),
     }
 
 
@@ -217,9 +342,9 @@ def render_report(families: Dict[str, dict]) -> str:
     return format_records(
         records,
         ["family", "n", "queries", "qps", "baseline_qps", "speedup",
-         "hit_ratio"],
-        title="serving tier — precomputed oracle / batched planner "
-              "vs. per-query solves",
+         "p50_ms", "p95_ms", "p99_ms", "hit_ratio"],
+        title="serving tier — precomputed oracle / batched planner / "
+              "warm daemon vs. per-query and cold-pool solves",
     )
 
 
@@ -262,12 +387,23 @@ def check_against_baseline(families: Dict[str, dict], baseline: dict,
             f"{ORACLE_FAMILY}: speedup {oracle['speedup']:.1f}x is "
             f"below the absolute {MIN_ORACLE_SPEEDUP:.0f}x floor")
     for name, data in families.items():
-        if name == ORACLE_FAMILY:
+        if name in (ORACLE_FAMILY, DAEMON_FAMILY):
             continue
         if data["speedup"] < MIN_BATCH_SPEEDUP:
             problems.append(
                 f"{name}: batched speedup {data['speedup']:.2f}x is "
                 f"below the absolute {MIN_BATCH_SPEEDUP:.1f}x floor")
+    daemon = families.get(DAEMON_FAMILY)
+    if daemon is not None:
+        if daemon["speedup"] < MIN_DAEMON_SPEEDUP:
+            problems.append(
+                f"{DAEMON_FAMILY}: warm-daemon speedup "
+                f"{daemon['speedup']:.2f}x is below the absolute "
+                f"{MIN_DAEMON_SPEEDUP:.0f}x floor")
+        if daemon["p95_ms"] > MAX_DAEMON_P95_MS:
+            problems.append(
+                f"{DAEMON_FAMILY}: p95 {daemon['p95_ms']:.2f}ms "
+                f"exceeds the {MAX_DAEMON_P95_MS:.0f}ms SLO ceiling")
     return problems
 
 
@@ -282,8 +418,10 @@ def bench_serve_tier(benchmark):
                                   rounds=1, iterations=1)
     report("serve", render_report(families))
     assert families[ORACLE_FAMILY]["speedup"] >= MIN_ORACLE_SPEEDUP
+    assert (families[DAEMON_FAMILY]["speedup"]
+            >= MIN_DAEMON_SPEEDUP), families[DAEMON_FAMILY]
     for name, data in families.items():
-        if name != ORACLE_FAMILY:
+        if name not in (ORACLE_FAMILY, DAEMON_FAMILY):
             assert data["speedup"] >= MIN_BATCH_SPEEDUP, (name, data)
 
 
@@ -310,6 +448,8 @@ def main(argv=None) -> int:
         "quick": bool(args.quick),
         "min_oracle_speedup": MIN_ORACLE_SPEEDUP,
         "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        "min_daemon_speedup": MIN_DAEMON_SPEEDUP,
+        "max_daemon_p95_ms": MAX_DAEMON_P95_MS,
         "tolerance": args.tolerance,
         "environment": environment_info(),
         "families": families,

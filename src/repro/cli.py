@@ -23,7 +23,11 @@ query
 serve
     The query-serving tier: ``serve bench`` drives a generated
     workload through the sharded oracle service and reports
-    queries/sec, hit ratio, and solves saved by batching.
+    queries/sec, latency percentiles, hit ratio, and solves saved by
+    batching; ``serve daemon`` runs the long-lived worker-process
+    tier (warm once, heartbeat health, drain on stop); ``serve
+    load`` drives open/closed-loop load through the daemon's
+    front-end with p50/p95/p99 SLO gates.
 trace
     Trace tooling over the JSONL artifacts written by ``suite run
     --trace`` (and the benches' ``--trace``): ``trace summary`` joins
@@ -232,14 +236,22 @@ def cmd_suite_diff(args) -> int:
     return 0 if report.clean else 1
 
 
+class _QueryTimeout(Exception):
+    pass
+
+
+def _query_alarm(signum, frame):  # pragma: no cover - signal path
+    raise _QueryTimeout()
+
+
 def cmd_query(args) -> int:
+    import signal
+
     from .serve import ReplacementPathOracle, centralized_truth
     instance = _build_instance(args)
     solver = args.solver
     if instance.weighted and solver == "theorem1":
         solver = "centralized"  # Theorem 1 targets unweighted graphs
-    oracle = ReplacementPathOracle.build(
-        instance, solver=solver, seed=args.seed)
     s = instance.s if args.source is None else args.source
     t = instance.t if args.target is None else args.target
     if args.edge is not None:
@@ -247,7 +259,43 @@ def cmd_query(args) -> int:
     else:
         edge = instance.path_edges()[
             args.fail_index % instance.hop_count]
-    answer = oracle.query(s, t, edge)
+    # The deadline covers the expensive part — the cold oracle build
+    # plus the query itself — with the executor's in-process SIGALRM
+    # discipline, so a too-slow build returns a structured ``timeout``
+    # outcome instead of hanging the terminal.
+    use_alarm = (args.timeout is not None
+                 and hasattr(signal, "SIGALRM"))
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _query_alarm)
+        old_timer = signal.setitimer(signal.ITIMER_REAL, args.timeout)
+    try:
+        oracle = ReplacementPathOracle.build(
+            instance, solver=solver, seed=args.seed)
+        answer = oracle.query(s, t, edge)
+    except _QueryTimeout:
+        if args.json:
+            import json
+            print(json.dumps({
+                "instance": instance.name,
+                "n": instance.n,
+                "m": instance.m,
+                "h_st": instance.hop_count,
+                "solver": solver,
+                "query": {"s": s, "t": t,
+                          "edge": [edge[0], edge[1]]},
+                "outcome": "timeout",
+                "timeout_seconds": args.timeout,
+            }, indent=2, sort_keys=True))
+        else:
+            print(f"instance {instance.name}: n={instance.n} "
+                  f"m={instance.m} h_st={instance.hop_count}")
+            print(f"query timed out after {args.timeout:g}s "
+                  "(oracle build + query exceeded the deadline)")
+        return 2
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, *old_timer)
+            signal.signal(signal.SIGALRM, old_handler)
     ok = None
     if args.check:
         ok = answer.length == centralized_truth(instance, s, t, edge)
@@ -262,6 +310,7 @@ def cmd_query(args) -> int:
             "build_rounds": oracle.build_rounds,
             "query": {"s": s, "t": t,
                       "edge": [edge[0], edge[1]]},
+            "outcome": "ok",
             "length": (None if answer.length >= INF
                        else answer.length),
             "kind": answer.kind,
@@ -290,6 +339,7 @@ def cmd_serve_bench(args) -> int:
         ShardedQueryService,
         generate_workload,
         hit_ratio,
+        latency_summary_ms,
         verify_against_centralized,
     )
     instances = [
@@ -329,10 +379,25 @@ def cmd_serve_bench(args) -> int:
         correct = verify_against_centralized(instances, report.answers)
         failures += 0 if correct else 1
         totals = report.totals()
+        service_stats = service.stats()
+        # Per-query latency percentiles: one-at-a-time serving over a
+        # warm sample — the batch-timed run above measures throughput,
+        # this measures what a single client waits.  Stats were
+        # snapshotted first so the sample does not inflate them.
+        sample = queries[:min(len(queries), args.latency_sample)]
+        per_query = []
+        for q in sample:
+            t0 = time.perf_counter()
+            service.serve([q])
+            per_query.append(time.perf_counter() - t0)
+        latency = latency_summary_ms(per_query)
         rows.append([
             kind,
             report.queries,
             f"{report.queries / wall:.0f}",
+            f"{latency['p50']:.2f}",
+            f"{latency['p95']:.2f}",
+            f"{latency['p99']:.2f}",
             f"{hit_ratio(report.answers):.2f}",
             totals.batch_solves,
             totals.solves_saved,
@@ -343,12 +408,15 @@ def cmd_serve_bench(args) -> int:
             "workload": kind,
             "queries": report.queries,
             "queries_per_sec": round(report.queries / wall, 1),
+            "latency_ms": {k: round(v, 4)
+                           for k, v in latency.items()},
+            "latency_sample": len(sample),
             "hit_ratio": round(hit_ratio(report.answers), 4),
             "wall_seconds": round(wall, 4),
             "correct": correct,
             "jobs": report.jobs,
             "totals": totals.as_metrics(),
-            "service": service.stats(),
+            "service": service_stats,
         })
     if args.json:
         import json
@@ -366,8 +434,9 @@ def cmd_serve_bench(args) -> int:
         }, indent=2, sort_keys=True))
     else:
         print(format_table(
-            ["workload", "queries", "queries/s", "hit ratio",
-             "batch solves", "solves saved", "wall", "correct"],
+            ["workload", "queries", "queries/s", "p50 ms", "p95 ms",
+             "p99 ms", "hit ratio", "batch solves", "solves saved",
+             "wall", "correct"],
             rows,
             title=f"serve bench: {args.instances} instances "
                   f"(n={args.n}), {args.shards or 'auto'} shards, "
@@ -375,6 +444,195 @@ def cmd_serve_bench(args) -> int:
     if scratch is not None:
         scratch.cleanup()
     return 0 if failures == 0 else 1
+
+
+def _daemon_catalog(args):
+    """The instance catalog the daemon serves (stable names)."""
+    from .graphs.generators import random_instance
+    return [
+        random_instance(args.n, seed=args.seed + i,
+                        name=f"serve-{args.n}-{args.seed + i}")
+        for i in range(args.instances)
+    ]
+
+
+def _start_daemon(args, instances):
+    from .runtime.store import ResultStore
+    from .serve import ServeDaemon
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    daemon = ServeDaemon(
+        instances, workers=args.workers, capacity=args.capacity,
+        store=store, solver=args.solver, build_seed=args.seed)
+    return daemon.start()
+
+
+def _dump_stats(args, daemon, extra=None) -> None:
+    """--stats-json / --prometheus operator dumps, shared by both
+    daemon verbs (the ``repro serve stats`` surface of the issue)."""
+    payload = daemon.stats()
+    if extra:
+        payload.update(extra)
+    if getattr(args, "stats_json", None):
+        import json
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"stats written to {args.stats_json}")
+    if getattr(args, "prometheus", False):
+        print(daemon.exposition())
+
+
+def cmd_serve_daemon(args) -> int:
+    from .serve import ServeFrontend, generate_workload, run_queries
+    instances = _daemon_catalog(args)
+    print(f"starting daemon: {len(instances)} instances "
+          f"(n={args.n}), solver={args.solver}")
+    daemon = _start_daemon(args, instances)
+    try:
+        print(f"daemon up: {daemon.workers} workers, instances "
+              f"routed: {', '.join(daemon.instance_keys)}")
+        frontend = ServeFrontend(
+            daemon, max_queue=args.max_queue,
+            default_timeout=args.timeout,
+            max_inflight=args.max_inflight)
+        try:
+            queries = []
+            for i, inst in enumerate(instances):
+                queries.extend(generate_workload(
+                    "mixed", inst, args.selfcheck,
+                    seed=args.seed + 31 * i))
+            results = run_queries(frontend, queries)
+            bad = [r for r in results if not r.ok]
+            print(f"self-check: {len(results) - len(bad)}/"
+                  f"{len(results)} ok")
+            totals = daemon.stats()["totals"]
+            print(f"served {totals['queries']} queries; "
+                  f"{totals['oracle_builds']} oracle builds, "
+                  f"{totals['lru_hits']} LRU hits, "
+                  f"{totals['batch_solves']} batch solves")
+            return_code = 0 if not bad else 1
+        finally:
+            frontend.close()
+    finally:
+        _dump_stats(args, daemon)
+        daemon.stop()
+    print("daemon stopped (drained)")
+    return return_code
+
+
+def cmd_serve_load(args) -> int:
+    from .serve import (
+        ServeFrontend,
+        ShardedQueryService,
+        generate_workload,
+        run_load,
+    )
+    instances = _daemon_catalog(args)
+    kinds = args.workload or ["uniform", "zipf", "adversarial",
+                              "mixed"]
+    daemon = _start_daemon(args, instances)
+    reports = []
+    failures = []
+    try:
+        frontend = ServeFrontend(
+            daemon, max_queue=args.max_queue,
+            default_timeout=args.timeout,
+            max_inflight=args.max_inflight)
+        try:
+            direct = None
+            if args.check:
+                # The bit-identity gate: every daemon answer must
+                # match the library service on the same catalog.
+                direct = ShardedQueryService(
+                    instances, solver=args.solver,
+                    build_seed=args.seed)
+            for kind in kinds:
+                queries = []
+                for i, inst in enumerate(instances):
+                    queries.extend(generate_workload(
+                        kind, inst, args.queries // len(instances),
+                        seed=args.seed + 17 * i))
+                results, report = run_load(
+                    frontend, queries, mode=args.mode,
+                    concurrency=args.concurrency, qps=args.qps,
+                    timeout=args.timeout)
+                row = report.as_json()
+                row["workload"] = kind
+                if report.ok != report.sent:
+                    unhappy = {k: v for k, v in report.outcomes.items()
+                               if k != "ok"}
+                    if args.mode == "closed":
+                        failures.append(
+                            f"{kind}: non-ok outcomes {unhappy}")
+                if direct is not None:
+                    mismatches = 0
+                    for res in results:
+                        if not res.ok:
+                            continue
+                        q = res.query
+                        truth = direct.query(q.instance, q.s, q.t,
+                                             q.edge)
+                        if truth.length != res.answer.length:
+                            mismatches += 1
+                    row["mismatches"] = mismatches
+                    if mismatches:
+                        failures.append(
+                            f"{kind}: {mismatches} answers differ "
+                            "from ShardedQueryService")
+                if (args.max_p95_ms is not None and report.ok > 0
+                        and report.latency_ms["p95"] > args.max_p95_ms):
+                    failures.append(
+                        f"{kind}: p95 {report.latency_ms['p95']:.2f}ms"
+                        f" > floor {args.max_p95_ms:.2f}ms")
+                reports.append(row)
+        finally:
+            frontend.close()
+    finally:
+        stats = daemon.stats()
+        _dump_stats(args, daemon, extra={"load": reports})
+        daemon.stop()
+    if args.check_telemetry:
+        from .telemetry import snapshot_counters, unknown_serving_labels
+        unknown = unknown_serving_labels(
+            snapshot_counters()["counters"])
+        if unknown:
+            failures.append("unknown serving telemetry labels: "
+                            + ", ".join(unknown))
+    if args.json:
+        import json
+        print(json.dumps({
+            "config": {
+                "n": args.n,
+                "instances": args.instances,
+                "workers": daemon.workers,
+                "mode": args.mode,
+                "qps": args.qps,
+                "concurrency": args.concurrency,
+                "solver": args.solver,
+                "seed": args.seed,
+            },
+            "workloads": reports,
+            "totals": stats["totals"],
+            "restarts": stats["restarts"],
+            "failures": failures,
+        }, indent=2, sort_keys=True))
+    else:
+        rows = [[
+            r["workload"], r["sent"], r["ok"],
+            f"{r['achieved_qps']:.0f}",
+            f"{r['latency_ms'].get('p50', 0):.2f}",
+            f"{r['latency_ms'].get('p95', 0):.2f}",
+            f"{r['latency_ms'].get('p99', 0):.2f}",
+            r.get("mismatches", "-"),
+        ] for r in reports]
+        print(format_table(
+            ["workload", "sent", "ok", "qps", "p50 ms", "p95 ms",
+             "p99 ms", "mismatches"], rows,
+            title=f"serve load: {args.instances} instances "
+                  f"(n={args.n}), mode={args.mode}, "
+                  f"workers={daemon.workers}"))
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
 
 
 def _resolve_trace_path(path: str):
@@ -570,6 +828,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="oracle construction solver")
     p_query.add_argument("--check", action="store_true",
                          help="verify against the centralized oracle")
+    p_query.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="deadline over oracle build + query; on "
+                              "expiry print a structured 'timeout' "
+                              "outcome and exit 2 instead of hanging")
     p_query.add_argument("--json", action="store_true",
                          help="machine-readable JSON output")
     p_query.set_defaults(func=cmd_query)
@@ -606,10 +869,90 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cache-dir", default=None,
                          help="spill store root (enables persistent "
                               "oracle spill)")
+    p_bench.add_argument("--latency-sample", type=int, default=200,
+                         metavar="N",
+                         help="warm single-query timings behind the "
+                              "p50/p95/p99 columns (default 200)")
     p_bench.add_argument("--json", action="store_true",
                          help="machine-readable JSON output "
                               "(includes the service stats snapshot)")
     p_bench.set_defaults(func=cmd_serve_bench)
+
+    def add_daemon_args(p):
+        p.add_argument("--n", type=int, default=32,
+                       help="instance size")
+        p.add_argument("--instances", type=int, default=4,
+                       help="instances in the served catalog")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: "
+                            "min(CPUs, instances))")
+        p.add_argument("--capacity", type=int, default=4,
+                       help="per-worker hot-oracle LRU capacity")
+        p.add_argument("--solver", default="theorem1",
+                       choices=["theorem1", "centralized"],
+                       help="oracle construction solver")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cache-dir", default=None,
+                       help="spill store root (persists oracles "
+                            "across worker restarts)")
+        p.add_argument("--max-queue", type=int, default=256,
+                       help="bounded admission queue (beyond it, "
+                            "submissions reject 'overloaded')")
+        p.add_argument("--max-inflight", type=int, default=64,
+                       help="per-shard in-flight query cap")
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds")
+        p.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="dump the daemon stats snapshot (shards, "
+                            "totals, counters) to PATH on shutdown")
+        p.add_argument("--prometheus", action="store_true",
+                       help="print the Prometheus text exposition "
+                            "on shutdown")
+
+    p_daemon = serve_sub.add_parser(
+        "daemon", help="long-lived shard workers: start, warm, "
+                       "self-check, report, drain")
+    add_daemon_args(p_daemon)
+    p_daemon.add_argument("--selfcheck", type=int, default=40,
+                          metavar="N",
+                          help="mixed-workload queries per instance "
+                               "for the self-check pass (default 40)")
+    p_daemon.set_defaults(func=cmd_serve_daemon)
+
+    p_load = serve_sub.add_parser(
+        "load", help="open/closed-loop load generation against the "
+                     "daemon with p50/p95/p99 SLO gates")
+    add_daemon_args(p_load)
+    p_load.add_argument("--queries", type=int, default=400,
+                        help="total queries per workload")
+    p_load.add_argument("--workload", action="append", default=[],
+                        choices=["uniform", "zipf", "adversarial",
+                                 "mixed"],
+                        help="workload kind (repeatable; default: "
+                             "all four)")
+    p_load.add_argument("--mode", default="closed",
+                        choices=["closed", "open"],
+                        help="loop discipline (closed: concurrency "
+                             "clients wait per query; open: submit "
+                             "on schedule regardless)")
+    p_load.add_argument("--qps", type=float, default=None,
+                        help="target aggregate QPS (required for "
+                             "open loop; optional pacing for closed)")
+    p_load.add_argument("--concurrency", type=int, default=4,
+                        help="closed-loop client threads")
+    p_load.add_argument("--check", action="store_true",
+                        help="verify every answer against a direct "
+                             "ShardedQueryService on the same "
+                             "catalog (bit-identity gate)")
+    p_load.add_argument("--check-telemetry", action="store_true",
+                        help="fail on serving-counter labels outside "
+                             "the closed enums (CI gate)")
+    p_load.add_argument("--max-p95-ms", type=float, default=None,
+                        help="fail any workload whose ok-request p95 "
+                             "exceeds this many milliseconds")
+    p_load.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    p_load.set_defaults(func=cmd_serve_load)
 
     p_trace = sub.add_parser(
         "trace", help="summarize / diff JSONL trace artifacts")

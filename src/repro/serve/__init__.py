@@ -19,10 +19,33 @@ precomputed answers hot and amortizes everything else:
 * :mod:`~repro.serve.workload` — seedable uniform / zipf /
   adversarial / mixed query-stream generators, registered as
   ``serve-*`` suite scenarios.
+* :mod:`~repro.serve.daemon` — ``ServeDaemon``: long-lived worker
+  processes that own their shards (shared-memory topology attach,
+  warm-once oracles, heartbeat health, bounded restart with re-warm).
+* :mod:`~repro.serve.frontend` — ``ServeFrontend``: threaded admission
+  with a bounded queue, per-request deadlines, and per-shard
+  in-flight caps (reject-with-``overloaded`` backpressure).
+* :mod:`~repro.serve.loadgen` — open/closed-loop load generation with
+  p50/p95/p99 latency reporting for the SLO gates.
 
-See DESIGN.md's "Serving layer" section for the full cost model.
+See DESIGN.md's "Serving layer" and "Serve daemon" sections for the
+full cost model and lifecycle.
 """
 
+from .daemon import ServeDaemon, WorkerConfig
+from .frontend import (
+    DEFAULT_TIMEOUT,
+    PendingQuery,
+    ServeFrontend,
+    ServeResult,
+    run_queries,
+)
+from .loadgen import (
+    LoadReport,
+    latency_summary_ms,
+    percentile,
+    run_load,
+)
 from .oracle import (
     OracleStats,
     ReplacementPathOracle,
@@ -57,25 +80,36 @@ from .workload import (
 __all__ = [
     "BATCHED_SOLVE",
     "BatchPlanner",
+    "DEFAULT_TIMEOUT",
     "FALLBACK_CACHED",
     "FALLBACK_SOLVE",
     "HIT_OFF_PATH",
     "HIT_PATH_EDGE",
+    "LoadReport",
     "OracleShard",
     "OracleStats",
+    "PendingQuery",
     "PlanReport",
     "Query",
     "QueryAnswer",
     "ReplacementPathOracle",
+    "ServeDaemon",
+    "ServeFrontend",
+    "ServeResult",
     "ServiceReport",
     "ShardStats",
     "ShardedQueryService",
     "WORKLOADS",
+    "WorkerConfig",
     "centralized_truth",
     "generate_workload",
     "verify_against_centralized",
     "hit_ratio",
     "kind_counts",
+    "latency_summary_ms",
+    "percentile",
+    "run_load",
+    "run_queries",
     "shard_of",
     "spill_key",
 ]

@@ -1,0 +1,690 @@
+"""Long-lived shard workers — the serve daemon's process tier.
+
+:class:`~repro.serve.shard.ShardedQueryService` is a library object:
+``serve_parallel`` rebuilds every shard inside a fresh pool per
+invocation, so each batch re-enters the LRU cold and pays oracle
+construction again.  The daemon inverts that: **worker processes own
+their shards for the life of the service**.  Each worker
+
+* attaches its instances' frozen CSR topologies from the parent's
+  ``multiprocessing.shared_memory`` publication
+  (:mod:`repro.runtime.sharedmem` — zero-copy, one physical copy of
+  the arrays regardless of worker count),
+* builds or spill-loads its oracles **once** at startup
+  (:meth:`~repro.serve.shard.OracleShard.warm`, ResultStore spill
+  intact), and
+* then serves request batches from the warm LRU over a
+  request/response ``multiprocessing`` queue pair.
+
+Lifecycle is stop-flag + drain (the Morelia threaded-streaming idiom:
+a shared flag the worker polls between queue reads): ``stop
+(drain=True)`` sets the flag, the worker finishes everything already
+queued, reports its lifetime stats, detaches, and exits.  Health is
+heartbeat-based — each worker stamps a shared timestamp between
+batches; the parent's monitor thread declares a worker dead when the
+process exits or the stamp goes stale, and restarts it (bounded by
+``max_restarts``) on a **fresh queue pair**, re-warming from the
+spill store and re-submitting every outstanding request (queries are
+pure, so the occasional duplicate answer is dropped by request id).
+Queues are strictly per-worker — a SIGKILL can land while the dying
+process's queue feeder thread holds a queue's shared write lock, so
+any queue a dead worker may have touched is abandoned wholesale
+(fresh pair + fresh collector thread) rather than shared or reused.
+
+Every transition lands in the closed telemetry enums of
+:mod:`repro.telemetry.serving`; the threaded admission path in front
+of this tier is :class:`repro.serve.frontend.ServeFrontend`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue as _thread_queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..graphs.instance import RPathsInstance
+from ..runtime.executor import default_jobs
+from ..runtime.store import ResultStore
+from ..telemetry import counters as _counters
+from ..telemetry import serving as _serving
+from .planner import DEFAULT_MAX_GROUP
+from .queries import Query, QueryAnswer
+from .shard import OracleShard, ShardStats, _portable_instance, shard_of
+
+#: Request-queue message kinds (worker side).
+_MSG_BATCH = "batch"
+_MSG_STATS = "stats"
+
+#: Response-queue message kinds (parent side).
+_RSP_READY = "ready"
+_RSP_ANSWER = "answer"
+_RSP_STATS = "stats"
+_RSP_FINAL = "final"
+
+#: Answer callback: (lengths, kinds, error) — lengths/kinds are None
+#: exactly when error is non-empty.
+AnswerCallback = Callable[[Optional[List[int]], Optional[List[str]],
+                           str], None]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs to rebuild its shard.
+
+    Instances ship cache-free (:func:`~repro.serve.shard.
+    _portable_instance`); the heavy CSR arrays arrive through the
+    shared-memory ``topology_handles`` instead of the pickle stream.
+    """
+
+    shard_id: int
+    instances: Tuple[RPathsInstance, ...]
+    capacity: int = 4
+    store_root: Optional[str] = None
+    solver: str = "theorem1"
+    build_fabric: str = "fast"
+    planner_fabric: str = "vector"
+    max_group: int = DEFAULT_MAX_GROUP
+    build_seed: int = 0
+    #: Queue-poll interval — also the heartbeat cadence while idle.
+    poll_seconds: float = 0.05
+    #: instance key -> SharedTopologyHandle (empty when numpy absent).
+    topology_handles: Tuple[Tuple[str, object], ...] = ()
+
+
+def _worker_main(config: WorkerConfig, request_q, response_q,
+                 stop_flag, heartbeat) -> None:
+    """One worker process: attach, warm once, serve until stopped.
+
+    The loop stamps ``heartbeat`` between queue reads; with the stop
+    flag set it keeps answering until the request queue is empty
+    (drain), then reports lifetime stats and exits.
+    """
+    from ..runtime import sharedmem
+
+    telemetry.maybe_enable_from_env()
+    attached: List[object] = []
+    sid = config.shard_id
+    heartbeat.value = time.time()
+    try:
+        store = (None if config.store_root is None
+                 else ResultStore(config.store_root))
+        shard = OracleShard(
+            shard_id=sid, capacity=config.capacity, store=store,
+            solver=config.solver, build_fabric=config.build_fabric,
+            planner_fabric=config.planner_fabric,
+            max_group=config.max_group, build_seed=config.build_seed)
+        handles = dict(config.topology_handles)
+        for inst in config.instances:
+            handle = handles.get(inst.name)
+            if handle is not None:
+                topo = sharedmem.attach_topology(handle)
+                inst._topology = topo  # build_network rides the views
+                attached.append(topo)
+            shard.add_instance(inst)
+        with telemetry.span("serve/daemon-warm", shard=sid,
+                            instances=len(config.instances)):
+            shard.warm()  # the whole point: built once, served warm
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        response_q.put((_RSP_READY, sid, os.getpid(), {},
+                        f"{type(exc).__name__}: {exc}"))
+        for topo in attached:
+            sharedmem.detach_topology(topo)
+        return
+    response_q.put((_RSP_READY, sid, os.getpid(),
+                    shard.stats.as_metrics(), ""))
+    try:
+        while True:
+            heartbeat.value = time.time()
+            try:
+                item = request_q.get(timeout=config.poll_seconds)
+            except _thread_queue.Empty:
+                if stop_flag.is_set():
+                    break  # stop requested and the queue is drained
+                continue
+            kind = item[0]
+            if kind == _MSG_STATS:
+                response_q.put((_RSP_STATS, sid, item[1],
+                                shard.stats.as_metrics(),
+                                len(shard._planners)))
+                continue
+            _kind, req_id, queries = item
+            try:
+                answers = shard.answer_batch(list(queries))
+                response_q.put((_RSP_ANSWER, sid, req_id,
+                                [a.length for a in answers],
+                                [a.kind for a in answers], ""))
+            except Exception as exc:  # noqa: BLE001 - per-request
+                response_q.put((_RSP_ANSWER, sid, req_id, None, None,
+                                f"{type(exc).__name__}: {exc}"))
+    finally:
+        response_q.put((_RSP_FINAL, sid, shard.stats.as_metrics(),
+                        _counters.snapshot_counters()))
+        for topo in attached:
+            sharedmem.detach_topology(topo)
+        telemetry.flush()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    config: WorkerConfig
+    process: object = None
+    request_q: object = None
+    response_q: object = None
+    collector: Optional[threading.Thread] = None
+    stop_flag: object = None
+    heartbeat: object = None
+    ready: threading.Event = field(default_factory=threading.Event)
+    ready_error: str = ""
+    warm_stats: Dict[str, int] = field(default_factory=dict)
+    final_stats: Optional[Dict[str, int]] = None
+    pid: int = 0
+    restarts: int = 0
+    failed: bool = False
+
+
+class ServeDaemon:
+    """Own a fleet of long-lived shard workers and route to them.
+
+    Instances are partitioned by the same SHA-256 mapping as
+    :class:`~repro.serve.shard.ShardedQueryService`, one worker per
+    shard.  :meth:`submit_batch` is asynchronous (answers arrive on a
+    collector thread's callback); :meth:`query` is the synchronous
+    convenience the CLI self-check and tests use.  Admission control,
+    deadlines, and backpressure live one layer up in
+    :class:`~repro.serve.frontend.ServeFrontend`.
+    """
+
+    def __init__(self, instances: Sequence[RPathsInstance],
+                 workers: Optional[int] = None, capacity: int = 4,
+                 store: Optional[ResultStore] = None,
+                 solver: str = "theorem1", build_fabric: str = "fast",
+                 planner_fabric: str = "vector",
+                 max_group: int = DEFAULT_MAX_GROUP,
+                 build_seed: int = 0,
+                 share_topology: bool = True,
+                 poll_seconds: float = 0.05,
+                 heartbeat_timeout: float = 5.0,
+                 monitor_interval: float = 0.25,
+                 max_restarts: int = 2) -> None:
+        instances = list(instances)
+        if not instances:
+            raise ValueError("daemon needs at least one instance")
+        if workers is None:
+            workers = min(default_jobs(), len(instances))
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        self.store = store
+        self.share_topology = share_topology
+        self.heartbeat_timeout = heartbeat_timeout
+        self.monitor_interval = monitor_interval
+        self.max_restarts = max_restarts
+        self._route: Dict[str, int] = {}
+        self._instances: Dict[int, List[RPathsInstance]] = {
+            sid: [] for sid in range(workers)}
+        for inst in instances:
+            if not inst.name:
+                raise ValueError("every served instance needs a name")
+            if inst.name in self._route:
+                raise ValueError(
+                    f"duplicate instance name {inst.name!r}")
+            sid = shard_of(inst.name, workers)
+            self._route[inst.name] = sid
+            self._instances[sid].append(inst)
+        import multiprocessing as mp
+        self._ctx = mp.get_context()
+        self._workers: Dict[int, _Worker] = {}
+        for sid in range(workers):
+            self._workers[sid] = _Worker(config=WorkerConfig(
+                shard_id=sid,
+                instances=tuple(_portable_instance(i)
+                                for i in self._instances[sid]),
+                capacity=capacity,
+                store_root=(None if store is None
+                            else str(store.root)),
+                solver=solver, build_fabric=build_fabric,
+                planner_fabric=planner_fabric, max_group=max_group,
+                build_seed=build_seed, poll_seconds=poll_seconds))
+        self._published: List[object] = []
+        self._req_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        #: req_id -> (shard_id, queries, callback); resubmitted on a
+        #: worker restart, resolved exactly once by the collector.
+        self._pending: Dict[int, Tuple[int, Tuple[Query, ...],
+                                       AnswerCallback]] = {}
+        self._inflight: Dict[int, int] = {
+            sid: 0 for sid in self._workers}
+        self._stats_waiters: Dict[int, Tuple[threading.Event, list]] = {}
+        self._running = False
+        self._stopping = False
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def instance_keys(self) -> List[str]:
+        return sorted(self._route)
+
+    def shard_for_key(self, instance_key: str) -> int:
+        try:
+            return self._route[instance_key]
+        except KeyError:
+            known = ", ".join(sorted(self._route))
+            raise KeyError(f"unknown instance {instance_key!r}; "
+                           f"served: {known}") from None
+
+    def inflight(self, shard_id: int) -> int:
+        """Queries dispatched to ``shard_id`` and not yet answered."""
+        with self._lock:
+            return self._inflight.get(shard_id, 0)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _publish_topologies(self) -> Dict[str, object]:
+        """Publish each instance's frozen CSR arrays once (zero-copy
+        for every worker and every restart); {} when numpy is absent."""
+        if not self.share_topology:
+            return {}
+        try:
+            from ..congest.topology import CSRTopology
+            from ..runtime import sharedmem
+            handles: Dict[str, object] = {}
+            for insts in self._instances.values():
+                for inst in insts:
+                    if inst._topology is None:
+                        inst._topology = CSRTopology(inst.n, inst.edges)
+                    shared = sharedmem.publish_topology(inst._topology)
+                    self._published.append(shared)
+                    handles[inst.name] = shared.handle
+            return handles
+        except ImportError:  # numpy-less: workers rebuild from edges
+            return {}
+
+    def _spawn(self, worker: _Worker,
+               handles: Dict[str, object]) -> None:
+        config = worker.config
+        if handles:
+            shard_handles = tuple(
+                (inst.name, handles[inst.name])
+                for inst in config.instances if inst.name in handles)
+            config = WorkerConfig(**{
+                **config.__dict__, "topology_handles": shard_handles})
+            worker.config = config
+        worker.request_q = self._ctx.Queue()
+        worker.response_q = self._ctx.Queue()
+        worker.stop_flag = self._ctx.Event()
+        worker.heartbeat = self._ctx.Value("d", time.time())
+        worker.ready = threading.Event()
+        worker.ready_error = ""
+        worker.process = self._ctx.Process(
+            target=_worker_main,
+            args=(config, worker.request_q, worker.response_q,
+                  worker.stop_flag, worker.heartbeat),
+            daemon=True)
+        worker.process.start()
+        # One collector thread per queue generation: replacing
+        # worker.response_q retires the previous thread on its next
+        # poll, so a queue a killed worker may have wedged is simply
+        # abandoned instead of blocking the other shards' answers.
+        worker.collector = threading.Thread(
+            target=self._collect_loop,
+            args=(worker, worker.response_q),
+            name=f"serve-daemon-collector-{config.shard_id}",
+            daemon=True)
+        worker.collector.start()
+        _serving.record_daemon_event(_serving.EVENT_WORKER_START)
+
+    def start(self, warm_timeout: float = 120.0) -> "ServeDaemon":
+        """Spawn + warm every worker; raises if any fails to warm."""
+        if self._running:
+            return self
+        _serving.record_daemon_event(_serving.EVENT_START)
+        self._topology_handles = self._publish_topologies()
+        self._running = True  # before _spawn: collectors poll on it
+        for worker in self._workers.values():
+            self._spawn(worker, self._topology_handles)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-daemon-monitor",
+            daemon=True)
+        self._monitor.start()
+        deadline = time.time() + warm_timeout
+        for sid, worker in self._workers.items():
+            remaining = max(0.0, deadline - time.time())
+            if not worker.ready.wait(timeout=remaining):
+                self.stop(drain=False)
+                raise RuntimeError(
+                    f"worker {sid} did not warm within "
+                    f"{warm_timeout:.0f}s")
+            if worker.ready_error:
+                error = worker.ready_error
+                self.stop(drain=False)
+                raise RuntimeError(
+                    f"worker {sid} failed to warm: {error}")
+        _serving.set_workers_alive(len(self._workers))
+        return self
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self, drain: bool = True,
+             timeout: float = 30.0) -> Dict[str, object]:
+        """Stop every worker and return the final stats snapshot.
+
+        ``drain=True`` (the default) lets workers finish everything
+        already queued before exiting; ``drain=False`` terminates
+        them.  Unanswered requests are resolved with a ``shutdown``
+        error either way.  Idempotent.
+        """
+        if not self._running:
+            return self.stats()
+        self._stopping = True
+        _serving.record_daemon_event(
+            _serving.EVENT_DRAIN if drain else _serving.EVENT_STOP)
+        deadline = time.time() + timeout
+        for worker in self._workers.values():
+            if worker.process is None:
+                continue
+            if drain and not worker.failed:
+                worker.stop_flag.set()
+            else:
+                worker.process.terminate()
+        for worker in self._workers.values():
+            if worker.process is None:
+                continue
+            worker.process.join(
+                timeout=max(0.1, deadline - time.time()))
+            if worker.process.is_alive():  # drain overran: force it
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            _serving.record_daemon_event(_serving.EVENT_WORKER_EXIT)
+        # Give the collectors one last pass over final-stats messages,
+        # then shut them down.
+        time.sleep(0.05)
+        self._running = False
+        threads = [self._monitor] + [w.collector
+                                     for w in self._workers.values()]
+        for thread in threads:
+            if thread is not None:
+                thread.join(timeout=5.0)
+        self._drain_responses()
+        with self._lock:
+            leftovers = list(self._pending.items())
+            self._pending.clear()
+            for sid in self._inflight:
+                self._inflight[sid] = 0
+        for _req_id, (_sid, _queries, callback) in leftovers:
+            callback(None, None, "shutdown")
+        for shared in self._published:
+            shared.close()
+        self._published.clear()
+        _serving.set_workers_alive(0)
+        if drain:
+            _serving.record_daemon_event(_serving.EVENT_STOP)
+        return self.stats()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_batch(self, queries: Sequence[Query],
+                     callback: AnswerCallback,
+                     shard_id: Optional[int] = None) -> int:
+        """Queue one single-shard batch; the collector thread invokes
+        ``callback`` exactly once when the answer (or error) arrives.
+
+        All queries must route to the same shard (the front-end groups
+        per shard before submitting).  Returns the request id.
+        """
+        queries = tuple(queries)
+        if not queries:
+            raise ValueError("empty batch")
+        if shard_id is None:
+            shard_id = self.shard_for_key(queries[0].instance)
+        for q in queries:
+            if self.shard_for_key(q.instance) != shard_id:
+                raise ValueError(
+                    f"query {q.label} does not route to shard "
+                    f"{shard_id}")
+        worker = self._workers[shard_id]
+        if worker.process is None:
+            raise RuntimeError("daemon is not running (call start())")
+        req_id = next(self._req_ids)
+        if worker.failed or self._stopping:
+            callback(None, None,
+                     "worker-lost" if worker.failed else "shutdown")
+            return req_id
+        with self._lock:
+            self._pending[req_id] = (shard_id, queries, callback)
+            self._inflight[shard_id] += len(queries)
+            _serving.set_inflight(shard_id,
+                                  self._inflight[shard_id])
+        worker.request_q.put((_MSG_BATCH, req_id, queries))
+        return req_id
+
+    def query(self, instance_key: str, s: int, t: int,
+              edge: Tuple[int, int],
+              timeout: Optional[float] = None) -> QueryAnswer:
+        """Synchronous single query (batch of one) through a worker."""
+        q = Query(s=s, t=t, edge=(int(edge[0]), int(edge[1])),
+                  instance=instance_key)
+        done = threading.Event()
+        box: List[object] = [None, None]
+
+        def callback(lengths, kinds, error):
+            box[0], box[1] = (lengths, kinds), error
+            done.set()
+
+        self.submit_batch([q], callback)
+        if not done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"no answer for {q.label} within {timeout}s")
+        if box[1]:
+            raise RuntimeError(f"worker error: {box[1]}")
+        (lengths, kinds) = box[0]
+        return QueryAnswer(q, lengths[0], kinds[0])
+
+    # -- collector / monitor threads ----------------------------------------
+
+    def _resolve(self, req_id: int, lengths, kinds,
+                 error: str) -> None:
+        with self._lock:
+            entry = self._pending.pop(req_id, None)
+            if entry is None:
+                return  # duplicate after a restart resubmit: dropped
+            shard_id, queries, callback = entry
+            self._inflight[shard_id] = max(
+                0, self._inflight[shard_id] - len(queries))
+            _serving.set_inflight(shard_id, self._inflight[shard_id])
+        callback(lengths, kinds, error)
+
+    def _handle_response(self, msg) -> None:
+        kind = msg[0]
+        if kind == _RSP_ANSWER:
+            _kind, _sid, req_id, lengths, kinds, error = msg
+            self._resolve(req_id, lengths, kinds, error)
+        elif kind == _RSP_READY:
+            _kind, sid, pid, warm_stats, error = msg
+            worker = self._workers[sid]
+            worker.pid = pid
+            worker.warm_stats = dict(warm_stats)
+            worker.ready_error = error
+            worker.ready.set()
+            if not error:
+                _serving.record_daemon_event(
+                    _serving.EVENT_WORKER_READY)
+        elif kind == _RSP_STATS:
+            _kind, _sid, token, stats, hot = msg
+            waiter = self._stats_waiters.pop(token, None)
+            if waiter is not None:
+                event, box = waiter
+                box.append((stats, hot))
+                event.set()
+        elif kind == _RSP_FINAL:
+            _kind, sid, stats, _counters_snap = msg
+            self._workers[sid].final_stats = dict(stats)
+
+    def _collect_loop(self, worker: _Worker, response_q) -> None:
+        """Route one queue generation's responses; exits when the
+        daemon stops or a restart swaps in a fresh queue."""
+        while self._running and worker.response_q is response_q:
+            try:
+                msg = response_q.get(timeout=0.05)
+            except _thread_queue.Empty:
+                continue
+            except Exception:  # noqa: BLE001 - queue torn/corrupted
+                return  # a killed producer can leave a partial frame
+            self._handle_response(msg)
+
+    def _drain_responses(self) -> None:
+        """Consume whatever still sits on the live response queues."""
+        for worker in self._workers.values():
+            if worker.response_q is None:
+                continue
+            while True:
+                try:
+                    msg = worker.response_q.get_nowait()
+                except _thread_queue.Empty:
+                    break
+                except Exception:  # noqa: BLE001 - partial frame
+                    break
+                self._handle_response(msg)
+
+    def _monitor_loop(self) -> None:
+        while self._running:
+            time.sleep(self.monitor_interval)
+            if not self._running or self._stopping:
+                return
+            alive = 0
+            for sid, worker in self._workers.items():
+                if worker.failed or worker.process is None:
+                    continue
+                stale = (worker.ready.is_set()
+                         and not worker.ready_error
+                         and (time.time() - worker.heartbeat.value
+                              > self.heartbeat_timeout))
+                if worker.process.is_alive() and not stale:
+                    alive += 1
+                    continue
+                _serving.record_daemon_event(
+                    _serving.EVENT_WORKER_DEAD)
+                self._restart(sid, worker)
+                if not worker.failed:
+                    alive += 1
+            _serving.set_workers_alive(alive)
+
+    def _restart(self, sid: int, worker: _Worker) -> None:
+        """Replace a dead worker; re-warm, then resubmit outstanding.
+
+        The fresh process gets a fresh request queue (the dead one may
+        hold a lock a killed producer never released); every pending
+        request for the shard is re-enqueued — workers answer by
+        request id, so a duplicate from the old queue resolves once
+        and the second response is dropped.
+        """
+        if worker.process is not None and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+        if worker.restarts >= self.max_restarts:
+            worker.failed = True
+            with self._lock:
+                lost = [(req_id, entry)
+                        for req_id, entry in self._pending.items()
+                        if entry[0] == sid]
+                for req_id, _entry in lost:
+                    del self._pending[req_id]
+                self._inflight[sid] = 0
+                _serving.set_inflight(sid, 0)
+            for _req_id, (_sid, _queries, callback) in lost:
+                callback(None, None, "worker-lost")
+            return
+        worker.restarts += 1
+        _serving.record_daemon_event(_serving.EVENT_WORKER_RESTART)
+        self._spawn(worker, getattr(self, "_topology_handles", {}))
+        with self._lock:
+            outstanding = [
+                (req_id, entry[1])
+                for req_id, entry in sorted(self._pending.items())
+                if entry[0] == sid
+            ]
+        for req_id, queries in outstanding:
+            _serving.record_daemon_event(_serving.EVENT_RESUBMIT)
+            worker.request_q.put((_MSG_BATCH, req_id, queries))
+
+    # -- observability -------------------------------------------------------
+
+    def worker_stats(self, timeout: float = 5.0) -> List[Dict[str, object]]:
+        """Live per-worker shard stats, scraped over the queues."""
+        out: List[Dict[str, object]] = []
+        for sid, worker in sorted(self._workers.items()):
+            row: Dict[str, object] = {
+                "shard_id": sid,
+                "pid": worker.pid,
+                "alive": bool(worker.process is not None
+                              and worker.process.is_alive()),
+                "failed": worker.failed,
+                "restarts": worker.restarts,
+                "instances": len(worker.config.instances),
+                "inflight": self.inflight(sid),
+            }
+            stats: Optional[Dict[str, int]] = worker.final_stats
+            if (stats is None and self._running and not worker.failed
+                    and row["alive"]):
+                token = next(self._req_ids)
+                event = threading.Event()
+                box: list = []
+                self._stats_waiters[token] = (event, box)
+                worker.request_q.put((_MSG_STATS, token))
+                if event.wait(timeout=timeout) and box:
+                    stats, hot = box[0]
+                    row["hot_oracles"] = hot
+                else:
+                    self._stats_waiters.pop(token, None)
+            if stats is None:
+                stats = worker.warm_stats
+            row.update(stats)
+            out.append(row)
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe daemon snapshot, shaped like
+        :meth:`ShardedQueryService.stats`: per-shard rows, merged
+        totals, and the process counter registry (which carries the
+        admission / lifecycle / gauge series)."""
+        shards = self.worker_stats()
+        totals = ShardStats(shard_id=-1)
+        for row in shards:
+            known = {k: int(row[k])
+                     for k in ShardStats(shard_id=0).as_metrics()
+                     if k in row}
+            totals.merge(ShardStats(shard_id=row["shard_id"],
+                                    **known))
+        return {
+            "workers": self.workers,
+            "running": self._running,
+            "restarts": sum(w.restarts
+                            for w in self._workers.values()),
+            "shards": shards,
+            "totals": totals.as_metrics(),
+            "counters": _counters.snapshot_counters(),
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text exposition: per-shard gauges + registry."""
+        for row in self.worker_stats():
+            labels = {"shard": str(row["shard_id"])}
+            for name, value in row.items():
+                if isinstance(value, (int, float)):
+                    _counters.registry.set_gauge(
+                        f"repro_serve_shard_{name}", value, **labels)
+        return _counters.exposition()

@@ -16,6 +16,10 @@ shards):
 * :mod:`~repro.telemetry.scale` — scale-out accounting (int32 export
   decisions, send-plan cache, shared-memory lifecycle, parallel
   fan-out width, peak-RSS gauge), closed-enum enforced like dispatch.
+* :mod:`~repro.telemetry.serving` — serve-daemon accounting (worker
+  lifecycle events, admission outcomes, queue-depth / in-flight /
+  workers-alive gauges, request-latency summary), closed-enum
+  enforced like dispatch and scale.
 * :mod:`~repro.telemetry.sink` — append-only JSONL trace files, one
   per process, schema-versioned.
 * :mod:`~repro.telemetry.tooling` — the ``repro trace summary`` /
@@ -54,6 +58,11 @@ from .scale import (  # noqa: F401
     record_plan,
     record_shm,
     unknown_scale_labels,
+)
+from .serving import (  # noqa: F401
+    record_admission,
+    record_daemon_event,
+    unknown_serving_labels,
 )
 from .sink import (  # noqa: F401
     SCHEMA,

@@ -1,0 +1,145 @@
+"""Serve-daemon accounting: admission outcomes, lifecycle, gauges.
+
+The daemon tier (:mod:`repro.serve.daemon` workers + the
+:mod:`repro.serve.frontend` admission path) reports every decision
+here, mirroring the closed-enum discipline of
+:mod:`repro.telemetry.dispatch` and :mod:`repro.telemetry.scale`: each
+counter has a label enum declared next to its recording helper, and
+:func:`unknown_serving_labels` rejects anything outside it — enforced
+by ``tests/test_telemetry.py`` and by ``repro serve load
+--check-telemetry`` (the CI serve-daemon smoke step).
+
+Counter shapes::
+
+    repro_serve_daemon_events_total{event="worker-restart"}
+    repro_serve_admission_total{outcome="overloaded"}
+
+plus point-in-time gauges (queue depth, per-shard in-flight, live
+worker count) and the ``repro_serve_request_seconds`` summary — one
+sample per completed request, the closed-loop latency the SLO gates
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .counters import parse_series, registry
+
+# -- daemon lifecycle events --------------------------------------------------
+
+#: One event per daemon / worker lifecycle transition.
+DAEMON_COUNTER = "repro_serve_daemon_events_total"
+
+EVENT_START = "start"
+EVENT_STOP = "stop"
+#: A stop that waited for queued requests to finish first.
+EVENT_DRAIN = "drain"
+EVENT_WORKER_START = "worker-start"
+EVENT_WORKER_READY = "worker-ready"
+EVENT_WORKER_EXIT = "worker-exit"
+#: Heartbeat went stale or the process died.
+EVENT_WORKER_DEAD = "worker-dead"
+EVENT_WORKER_RESTART = "worker-restart"
+#: Outstanding requests re-enqueued onto a restarted worker.
+EVENT_RESUBMIT = "resubmit"
+
+KNOWN_DAEMON_EVENTS = frozenset((
+    EVENT_START, EVENT_STOP, EVENT_DRAIN,
+    EVENT_WORKER_START, EVENT_WORKER_READY, EVENT_WORKER_EXIT,
+    EVENT_WORKER_DEAD, EVENT_WORKER_RESTART, EVENT_RESUBMIT,
+))
+
+
+def record_daemon_event(event: str) -> None:
+    """Count one daemon lifecycle transition."""
+    registry.inc(DAEMON_COUNTER, event=event)
+
+
+# -- admission / request outcomes ---------------------------------------------
+
+#: One event per front-end request, labeled by its final outcome.
+ADMISSION_COUNTER = "repro_serve_admission_total"
+
+OUTCOME_OK = "ok"
+#: Rejected at admission: the bounded queue was full (backpressure —
+#: the front-end sheds load instead of queueing without bound).
+OUTCOME_OVERLOADED = "overloaded"
+#: The per-request deadline expired before an answer arrived.
+OUTCOME_TIMEOUT = "timeout"
+#: The owning worker raised while answering.
+OUTCOME_ERROR = "error"
+#: The front-end / daemon shut down with the request unanswered.
+OUTCOME_SHUTDOWN = "shutdown"
+#: The owning worker died and its restart budget was exhausted.
+OUTCOME_WORKER_LOST = "worker-lost"
+
+KNOWN_ADMISSION_OUTCOMES = frozenset((
+    OUTCOME_OK, OUTCOME_OVERLOADED, OUTCOME_TIMEOUT,
+    OUTCOME_ERROR, OUTCOME_SHUTDOWN, OUTCOME_WORKER_LOST,
+))
+
+
+def record_admission(outcome: str) -> None:
+    """Count one front-end request by its final outcome."""
+    registry.inc(ADMISSION_COUNTER, outcome=outcome)
+
+
+# -- gauges + latency summary -------------------------------------------------
+
+#: Current depth of the front-end's bounded admission queue.
+QUEUE_DEPTH_GAUGE = "repro_serve_queue_depth"
+#: Queries dispatched to a shard's worker and not yet answered.
+INFLIGHT_GAUGE = "repro_serve_inflight"
+#: Live (heartbeating) worker processes.
+WORKERS_ALIVE_GAUGE = "repro_serve_workers_alive"
+
+#: One sample per completed request: submit -> resolve wall seconds.
+REQUEST_SECONDS_SUMMARY = "repro_serve_request_seconds"
+
+
+def set_queue_depth(depth: int) -> None:
+    registry.set_gauge(QUEUE_DEPTH_GAUGE, depth)
+
+
+def set_inflight(shard: int, count: int) -> None:
+    registry.set_gauge(INFLIGHT_GAUGE, count, shard=str(shard))
+
+
+def set_workers_alive(count: int) -> None:
+    registry.set_gauge(WORKERS_ALIVE_GAUGE, count)
+
+
+def observe_request_seconds(seconds: float) -> None:
+    registry.observe(REQUEST_SECONDS_SUMMARY, seconds)
+
+
+# -- closed-enum enforcement --------------------------------------------------
+
+#: Counter name -> {label key: legal values} (the whole closed surface).
+_ENUMS: Dict[str, Dict[str, frozenset]] = {
+    DAEMON_COUNTER: {"event": KNOWN_DAEMON_EVENTS},
+    ADMISSION_COUNTER: {"outcome": KNOWN_ADMISSION_OUTCOMES},
+}
+
+
+def unknown_serving_labels(counters: Dict[str, float]) -> List[str]:
+    """Serve-daemon counter labels outside the closed enums above.
+
+    Mirrors :func:`repro.telemetry.scale.unknown_scale_labels`: a
+    non-empty return fails the telemetry enum test and the
+    ``repro serve load --check-telemetry`` gate, so a new lifecycle
+    event or admission outcome cannot ship without being declared
+    here.
+    """
+    bad: List[str] = []
+    for key in counters:
+        name, labels = parse_series(key)
+        enums = _ENUMS.get(name)
+        if enums is None:
+            continue
+        for label, legal in enums.items():
+            value = labels.get(label)
+            if value not in legal:
+                bad.append(f"{name}:{label}:{value or '<missing>'}")
+    return sorted(set(bad))

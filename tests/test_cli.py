@@ -96,3 +96,81 @@ class TestOtherCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
         assert "PODC 2025" in capsys.readouterr().out
+
+
+class TestQueryTimeout:
+    def test_deadline_expiry_is_structured(self, capsys):
+        import json
+        import signal
+
+        import pytest
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("needs SIGALRM")
+        code = main(["query", "--n", "400", "--timeout", "0.01",
+                     "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert data["outcome"] == "timeout"
+        assert data["timeout_seconds"] == 0.01
+        assert "length" not in data
+
+    def test_generous_deadline_answers_normally(self, capsys):
+        import json
+        code = main(["query", "--family", "grid", "--n", "20",
+                     "--timeout", "60", "--check", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["outcome"] == "ok"
+        assert data["check"] is True
+
+
+class TestServeDaemonCommands:
+    def test_serve_bench_reports_percentiles(self, capsys):
+        import json
+        code = main(["serve", "bench", "--n", "14", "--instances", "2",
+                     "--queries", "24", "--workload", "uniform",
+                     "--solver", "centralized", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        [record] = data["workloads"]
+        latency = record["latency_ms"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert record["latency_sample"] == 24
+
+    def test_serve_daemon_selfcheck(self, capsys):
+        code = main(["serve", "daemon", "--n", "16", "--instances",
+                     "2", "--workers", "1", "--solver", "centralized",
+                     "--selfcheck", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "self-check: 12/12 ok" in out
+        assert "daemon stopped (drained)" in out
+
+    def test_serve_load_gates_pass(self, capsys, tmp_path):
+        import json
+        stats_path = tmp_path / "stats.json"
+        code = main(["serve", "load", "--n", "16", "--instances", "2",
+                     "--workers", "1", "--queries", "40",
+                     "--workload", "mixed", "--solver", "centralized",
+                     "--check", "--check-telemetry",
+                     "--stats-json", str(stats_path), "--json"])
+        out = capsys.readouterr().out
+        data = json.loads(out[out.index("{"):])
+        assert code == 0
+        [row] = data["workloads"]
+        assert row["mismatches"] == 0
+        assert row["ok"] == row["sent"]
+        assert row["latency_ms"]["p95"] >= row["latency_ms"]["p50"]
+        assert data["failures"] == []
+        stats = json.loads(stats_path.read_text())
+        assert stats["totals"]["queries"] >= 40
+        assert stats["load"]
+
+    def test_serve_load_p95_floor_breach_fails(self, capsys):
+        code = main(["serve", "load", "--n", "16", "--instances", "1",
+                     "--workers", "1", "--queries", "10",
+                     "--workload", "uniform", "--solver",
+                     "centralized", "--max-p95-ms", "0.000001"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "p95" in captured.err

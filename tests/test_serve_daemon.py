@@ -1,0 +1,387 @@
+"""Serve daemon: worker lifecycle, health, backpressure, identity.
+
+The contract under test (ISSUE 9): long-lived worker processes own
+their shards and warm once; stop is stop-flag + drain; health is
+heartbeat-based with bounded restart and spill re-warm; the threaded
+front-end admits through a bounded queue with per-request deadlines
+and per-shard in-flight caps; and every answer the daemon returns is
+bit-identical to a direct :class:`ShardedQueryService` on the same
+catalog, on every workload family.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.graphs.generators import random_instance
+from repro.runtime.store import ResultStore
+from repro.serve import (
+    Query,
+    ServeDaemon,
+    ServeFrontend,
+    ShardedQueryService,
+    WORKLOADS,
+    generate_workload,
+    latency_summary_ms,
+    percentile,
+    run_load,
+    run_queries,
+    verify_against_centralized,
+)
+from repro.telemetry import serving
+
+
+def _instances(count=3, n=20):
+    return [random_instance(n, seed=s, name=f"daemon-test-{s}")
+            for s in range(1, count + 1)]
+
+
+def _daemon(insts, **kw):
+    kw.setdefault("solver", "centralized")
+    kw.setdefault("workers", min(2, len(insts)))
+    return ServeDaemon(insts, **kw)
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestLifecycle:
+    def test_start_serve_drain_stop(self):
+        insts = _instances()
+        daemon = _daemon(insts)
+        try:
+            daemon.start()
+            total = 0
+            for inst in insts:
+                edge = inst.path_edges()[0]
+                answer = daemon.query(inst.name, inst.s, inst.t, edge,
+                                      timeout=30)
+                direct = ShardedQueryService(
+                    [inst], solver="centralized").query(
+                        inst.name, inst.s, inst.t, edge)
+                assert answer.length == direct.length
+                total += 1
+        finally:
+            stats = daemon.stop()
+        assert stats["totals"]["queries"] == total
+        assert stats["restarts"] == 0
+        assert json.dumps(stats)  # operator dump is JSON-safe
+
+    def test_context_manager_and_idempotent_stop(self):
+        insts = _instances(2)
+        with _daemon(insts) as daemon:
+            edge = insts[0].path_edges()[0]
+            daemon.query(insts[0].name, insts[0].s, insts[0].t, edge,
+                         timeout=30)
+        # __exit__ already stopped it; stop() again is a no-op.
+        stats = daemon.stop()
+        assert stats["totals"]["queries"] == 1
+
+    def test_warm_builds_once_then_serves_hot(self):
+        insts = _instances(2)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            edge = insts[0].path_edges()[0]
+            for _ in range(5):
+                daemon.query(insts[0].name, insts[0].s, insts[0].t,
+                             edge, timeout=30)
+            stats = daemon.stats()
+        finally:
+            daemon.stop()
+        # Both instances were built exactly once, at warm time — the
+        # queries themselves never triggered a build.
+        assert stats["totals"]["oracle_builds"] == len(insts)
+
+    def test_submit_before_start_raises(self):
+        daemon = _daemon(_instances(1))
+        with pytest.raises(RuntimeError, match="not running"):
+            daemon.query("daemon-test-1", 0, 1, (0, 1), timeout=1)
+
+    def test_unknown_instance_raises(self):
+        daemon = _daemon(_instances(1))
+        with pytest.raises(KeyError, match="unknown instance"):
+            daemon.shard_for_key("nope")
+
+    def test_exposition_has_shard_gauges(self):
+        insts = _instances(2)
+        daemon = _daemon(insts, workers=2)
+        try:
+            daemon.start()
+            edge = insts[0].path_edges()[0]
+            daemon.query(insts[0].name, insts[0].s, insts[0].t, edge,
+                         timeout=30)
+            text = daemon.exposition()
+        finally:
+            daemon.stop()
+        assert "repro_serve_shard_queries" in text
+        assert "repro_serve_workers_alive" in text
+
+
+class TestHealth:
+    def test_killed_worker_restarts_and_rewarms_from_spill(self, tmp_path):
+        insts = _instances(2)
+        store = ResultStore(tmp_path)
+        daemon = _daemon(insts, workers=1, store=store,
+                         monitor_interval=0.05, max_restarts=2)
+        try:
+            daemon.start()
+            worker = daemon._workers[0]
+            assert worker.warm_stats["spill_saves"] == len(insts)
+            first_pid = worker.pid
+            edge = insts[0].path_edges()[0]
+            before = daemon.query(insts[0].name, insts[0].s,
+                                  insts[0].t, edge, timeout=30)
+
+            os.kill(first_pid, signal.SIGKILL)
+            assert _wait_until(lambda: worker.restarts == 1)
+            assert _wait_until(lambda: worker.pid != first_pid
+                               and worker.ready.is_set())
+            # The replacement re-warmed from the spill store instead
+            # of rebuilding: loads, not builds.
+            assert worker.warm_stats["spill_loads"] == len(insts)
+            assert worker.warm_stats["oracle_builds"] == 0
+
+            after = daemon.query(insts[0].name, insts[0].s,
+                                 insts[0].t, edge, timeout=30)
+            assert after.length == before.length
+        finally:
+            stats = daemon.stop()
+        assert stats["restarts"] == 1
+
+    def test_query_submitted_while_dead_is_resubmitted(self):
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1, monitor_interval=0.05)
+        try:
+            daemon.start()
+            edge = insts[0].path_edges()[0]
+            truth = daemon.query(insts[0].name, insts[0].s,
+                                 insts[0].t, edge, timeout=30)
+            os.kill(daemon._workers[0].pid, signal.SIGKILL)
+            # Submitted against the dead worker's queue; the monitor
+            # must detect, respawn, and re-enqueue it.
+            answer = daemon.query(insts[0].name, insts[0].s,
+                                  insts[0].t, edge, timeout=30)
+            assert answer.length == truth.length
+        finally:
+            daemon.stop()
+
+    def test_restart_budget_exhaustion_fails_pending_as_worker_lost(self):
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1, monitor_interval=0.05,
+                         max_restarts=0)
+        try:
+            daemon.start()
+            worker = daemon._workers[0]
+            os.kill(worker.pid, signal.SIGKILL)
+            assert _wait_until(lambda: worker.failed)
+            outcomes = []
+            daemon.submit_batch(
+                [Query(s=insts[0].s, t=insts[0].t,
+                       edge=insts[0].path_edges()[0],
+                       instance=insts[0].name)],
+                lambda lengths, kinds, error: outcomes.append(error))
+            assert outcomes == ["worker-lost"]
+        finally:
+            daemon.stop()
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects_overloaded_then_recovers(self):
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon, max_queue=4, max_batch=1,
+                                     max_inflight=1,
+                                     default_timeout=30.0)
+            try:
+                sid = daemon.shard_for_key(insts[0].name)
+                # Saturate the shard's in-flight budget so the
+                # dispatcher holds every batch at admission.
+                with daemon._lock:
+                    daemon._inflight[sid] = frontend.max_inflight
+                edge = insts[0].path_edges()[0]
+
+                def submit_one():
+                    return frontend.submit(Query(
+                        s=insts[0].s, t=insts[0].t, edge=edge,
+                        instance=insts[0].name))
+
+                held = [submit_one()]
+                # The dispatcher takes exactly one (max_batch=1) and
+                # stalls on the in-flight cap; the admission queue is
+                # then free to fill completely.
+                assert _wait_until(
+                    lambda: frontend.queue_depth() == 0)
+                held.extend(submit_one() for _ in range(4))
+                assert frontend.queue_depth() == 4
+
+                rejected = submit_one()
+                assert rejected.done
+                result = rejected.result()
+                assert result.outcome == serving.OUTCOME_OVERLOADED
+                assert result.answer is None
+
+                # Release the artificial pressure: everything held at
+                # admission drains and answers normally.
+                with daemon._lock:
+                    daemon._inflight[sid] = 0
+                results = [p.result() for p in held]
+                assert all(r.ok for r in results)
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+
+    def test_expired_deadline_resolves_timeout(self):
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon)
+            try:
+                result = frontend.query(
+                    insts[0].name, insts[0].s, insts[0].t,
+                    insts[0].path_edges()[0], timeout=0.0)
+                assert result.outcome == serving.OUTCOME_TIMEOUT
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+
+    def test_closed_frontend_rejects_shutdown(self):
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon)
+            frontend.close()
+            result = frontend.query(
+                insts[0].name, insts[0].s, insts[0].t,
+                insts[0].path_edges()[0])
+            assert result.outcome == serving.OUTCOME_SHUTDOWN
+        finally:
+            daemon.stop()
+
+
+class TestBitIdentity:
+    def test_every_workload_family_matches_direct_service(self):
+        insts = _instances(3, n=20)
+        direct = ShardedQueryService(insts, solver="centralized")
+        daemon = _daemon(insts, workers=2)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon, default_timeout=60.0)
+            try:
+                for kind in WORKLOADS:
+                    queries = []
+                    for i, inst in enumerate(insts):
+                        queries.extend(generate_workload(
+                            kind, inst, 8, seed=11 * (i + 1)))
+                    results = run_queries(frontend, queries)
+                    assert all(r.ok for r in results), kind
+                    for res in results:
+                        q = res.query
+                        truth = direct.query(q.instance, q.s, q.t,
+                                             q.edge)
+                        assert res.answer.length == truth.length, (
+                            kind, q.label)
+                    assert verify_against_centralized(
+                        insts, [r.answer for r in results])
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+
+
+class TestLoadgen:
+    def test_percentile_interpolates(self):
+        assert percentile([], 95) == 0.0
+        assert percentile([7.0], 99) == 7.0
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == pytest.approx(2.5)
+        summary = latency_summary_ms([0.001, 0.002, 0.003, 0.004])
+        assert summary["p50"] == pytest.approx(2.5)
+        assert summary["max"] == pytest.approx(4.0)
+
+    def test_closed_loop_reports_all_ok(self):
+        insts = _instances(2)
+        daemon = _daemon(insts, workers=2)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon, default_timeout=60.0)
+            try:
+                queries = []
+                for i, inst in enumerate(insts):
+                    queries.extend(generate_workload(
+                        "mixed", inst, 15, seed=3 + i))
+                results, report = run_load(frontend, queries,
+                                           mode="closed",
+                                           concurrency=3)
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+        assert report.sent == len(queries)
+        assert report.outcomes == {"ok": len(queries)}
+        assert report.achieved_qps > 0
+        assert report.latency_ms["p95"] >= report.latency_ms["p50"]
+        assert json.dumps(report.as_json())
+
+    def test_open_loop_requires_qps_and_paces(self):
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon, default_timeout=60.0)
+            try:
+                queries = generate_workload("uniform", insts[0], 10,
+                                            seed=5)
+                with pytest.raises(ValueError, match="qps"):
+                    run_load(frontend, queries, mode="open")
+                _results, report = run_load(frontend, queries,
+                                            mode="open", qps=200.0)
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+        assert report.ok == len(queries)
+        # Open loop is paced: 10 queries at 200/s cannot finish
+        # faster than the schedule allows.
+        assert report.wall_seconds >= 9 / 200.0
+
+
+class TestTelemetry:
+    def test_daemon_run_emits_only_known_labels(self):
+        from repro.telemetry import counters as counters_mod
+        from repro.telemetry import unknown_serving_labels
+        insts = _instances(1)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            frontend = ServeFrontend(daemon)
+            try:
+                frontend.query(insts[0].name, insts[0].s, insts[0].t,
+                               insts[0].path_edges()[0])
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+        counters = counters_mod.registry.snapshot()["counters"]
+        assert any(k.startswith(serving.DAEMON_COUNTER)
+                   for k in counters)
+        assert any(k.startswith(serving.ADMISSION_COUNTER)
+                   for k in counters)
+        assert unknown_serving_labels(counters) == []

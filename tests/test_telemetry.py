@@ -535,3 +535,48 @@ class TestScaleEnums:
         assert "repro_peak_rss_bytes" in rendered
         assert "2048.0 MiB" in rendered
         assert "gauges" in summary.as_json()
+
+
+# -- serve-daemon counter enums ----------------------------------------------
+
+
+class TestServingEnums:
+    """The serve-daemon counters are a closed surface, dispatch-style."""
+
+    def test_every_recording_helper_is_in_enum(self):
+        from repro.telemetry import serving
+        for event in serving.KNOWN_DAEMON_EVENTS:
+            serving.record_daemon_event(event)
+        for outcome in serving.KNOWN_ADMISSION_OUTCOMES:
+            serving.record_admission(outcome)
+        counters = counters_mod.registry.snapshot()["counters"]
+        assert telemetry.unknown_serving_labels(counters) == []
+
+    def test_unknown_serving_labels_flagged(self):
+        from repro.telemetry import serving
+        counters = {
+            'repro_serve_daemon_events_total{event="imploded"}': 1.0,
+            'repro_serve_admission_total{outcome="maybe"}': 2.0,
+            "repro_serve_admission_total": 1.0,  # missing label
+            # Foreign counters are not this enum's business.
+            'repro_sharedmem_events_total{event="attach"}': 1.0,
+        }
+        unknown = serving.unknown_serving_labels(counters)
+        assert any("imploded" in u for u in unknown)
+        assert any("maybe" in u for u in unknown)
+        assert any("<missing>" in u for u in unknown)
+        assert not any("attach" in u for u in unknown)
+
+    def test_gauges_and_summary_record(self):
+        from repro.telemetry import serving
+        serving.set_queue_depth(7)
+        serving.set_inflight(3, 12)
+        serving.set_workers_alive(2)
+        serving.observe_request_seconds(0.004)
+        snap = counters_mod.registry.snapshot()
+        assert snap["gauges"][serving.QUEUE_DEPTH_GAUGE] == 7
+        assert snap["gauges"][
+            serving.INFLIGHT_GAUGE + '{shard="3"}'] == 12
+        assert snap["gauges"][serving.WORKERS_ALIVE_GAUGE] == 2
+        summary = snap["summaries"][serving.REQUEST_SECONDS_SUMMARY]
+        assert summary["count"] >= 1
