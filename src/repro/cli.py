@@ -246,6 +246,7 @@ def _query_alarm(signum, frame):  # pragma: no cover - signal path
 
 def cmd_query(args) -> int:
     import signal
+    import threading
 
     from .serve import ReplacementPathOracle, centralized_truth
     instance = _build_instance(args)
@@ -262,9 +263,16 @@ def cmd_query(args) -> int:
     # The deadline covers the expensive part — the cold oracle build
     # plus the query itself — with the executor's in-process SIGALRM
     # discipline, so a too-slow build returns a structured ``timeout``
-    # outcome instead of hanging the terminal.
-    use_alarm = (args.timeout is not None
-                 and hasattr(signal, "SIGALRM"))
+    # outcome instead of hanging the terminal.  SIGALRM only exists on
+    # POSIX and only works from the main thread; anywhere else we run
+    # without a deadline and *say so* with a structured
+    # ``timeout_unsupported`` outcome instead of crashing in
+    # ``signal.signal``.
+    alarm_capable = (hasattr(signal, "SIGALRM")
+                     and threading.current_thread()
+                     is threading.main_thread())
+    use_alarm = args.timeout is not None and alarm_capable
+    timeout_unsupported = args.timeout is not None and not alarm_capable
     if use_alarm:
         old_handler = signal.signal(signal.SIGALRM, _query_alarm)
         old_timer = signal.setitimer(signal.ITIMER_REAL, args.timeout)
@@ -310,7 +318,9 @@ def cmd_query(args) -> int:
             "build_rounds": oracle.build_rounds,
             "query": {"s": s, "t": t,
                       "edge": [edge[0], edge[1]]},
-            "outcome": "ok",
+            "outcome": ("timeout_unsupported" if timeout_unsupported
+                        else "ok"),
+            "timeout_enforced": bool(use_alarm),
             "length": (None if answer.length >= INF
                        else answer.length),
             "kind": answer.kind,
@@ -319,6 +329,10 @@ def cmd_query(args) -> int:
     else:
         print(f"instance {instance.name}: n={instance.n} "
               f"m={instance.m} h_st={instance.hop_count}")
+        if timeout_unsupported:
+            print(f"note: --timeout {args.timeout:g} requested but "
+                  "SIGALRM is unavailable here (non-POSIX platform or "
+                  "non-main thread); ran without a deadline")
         print(f"oracle: solver={solver}, build cost "
               f"{oracle.build_rounds} rounds (paid once, amortized "
               "over every query)")
@@ -327,6 +341,99 @@ def cmd_query(args) -> int:
         if ok is not None:
             print(f"oracle check: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok is not False else 1
+
+
+def cmd_mutate(args) -> int:
+    """Replay a seeded mutation stream against one instance.
+
+    Each step draws a batch from the chosen profile, applies it
+    through :func:`repro.dynamic.apply_mutations` (epoch bump + P
+    re-derivation), validates the successor instance, and reports the
+    applied/skipped breakdown — the CLI face of the dynamic-graphs
+    subsystem.
+    """
+    from .dynamic import MutationStream
+
+    instance = _build_instance(args)
+    stream = MutationStream(seed=args.mutation_seed)
+    profile_kwargs = {
+        "burst": {"count": args.burst_size},
+        "storm": {"fraction": args.fraction},
+        "regional": {"radius": args.radius,
+                     "fraction": args.fraction},
+        "maintenance": {"window": args.window},
+    }[args.profile]
+    steps = []
+    failures = []
+    current = instance
+    for step in range(args.steps):
+        kwargs = dict(profile_kwargs)
+        if args.profile == "maintenance":
+            kwargs["step"] = step
+        result = stream.step(current, profile=args.profile, **kwargs)
+        current = result.instance
+        try:
+            current.validate()
+        except Exception as exc:  # InvalidInstanceError et al.
+            failures.append(f"step {step}: successor instance "
+                            f"invalid: {exc}")
+        row = result.as_metrics()
+        row["step"] = step
+        steps.append(row)
+    if args.json:
+        import json
+        print(json.dumps({
+            "instance": instance.name,
+            "n": instance.n,
+            "m": instance.m,
+            "profile": args.profile,
+            "seed": args.mutation_seed,
+            "steps": steps,
+            "final_epoch": current.topology_version,
+            "final_m": current.m,
+            "final_hop_count": current.hop_count,
+            "failures": failures,
+        }, indent=2, sort_keys=True))
+    else:
+        rows = [[r["step"], r["epoch"], r["applied"], r["skipped"],
+                 "yes" if r["path_changed"] else "no"]
+                for r in steps]
+        print(format_table(
+            ["step", "epoch", "applied", "skipped", "path changed"],
+            rows,
+            title=f"mutation stream: {args.profile} on "
+                  f"{instance.name or args.family} (n={instance.n}, "
+                  f"seed={args.mutation_seed})"))
+        print(f"final: epoch {current.topology_version}, m={current.m}"
+              f" (was {instance.m}), |P|={current.hop_count} hops "
+              f"(was {instance.hop_count})")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
+def cmd_store_gc(args) -> int:
+    """Prune unreachable objects from the result store."""
+    from .runtime.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    report = store.gc(dry_run=args.dry_run)
+    if args.json:
+        import json
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    verb = "would prune" if args.dry_run else "pruned"
+    print(f"store gc ({store.root}): scanned {report['scanned']}, "
+          f"kept {report['kept']}, {verb} {report['pruned']} "
+          f"({report['bytes']} bytes)")
+    for reason, count in sorted(report["reasons"].items()):
+        if count:
+            print(f"  {reason}: {count}")
+    if args.verbose:
+        for victim in report["victims"]:
+            print(f"  {verb}: {victim['object']} "
+                  f"[{victim['reason']}] {victim['detail']}")
+    return 0
 
 
 def cmd_serve_bench(args) -> int:
@@ -519,6 +626,80 @@ def cmd_serve_daemon(args) -> int:
     return return_code
 
 
+def _check_dynamic_telemetry(failures) -> None:
+    """Append closed-enum violations (serving + dynamic) to failures."""
+    from .telemetry import snapshot_counters, unknown_serving_labels
+    from .telemetry.dynamic import unknown_dynamic_labels
+    counters = snapshot_counters()["counters"]
+    unknown = unknown_serving_labels(counters)
+    if unknown:
+        failures.append("unknown serving telemetry labels: "
+                        + ", ".join(unknown))
+    unknown = unknown_dynamic_labels(counters)
+    if unknown:
+        failures.append("unknown dynamic telemetry labels: "
+                        + ", ".join(unknown))
+
+
+def _serve_load_chaos(args, instances) -> int:
+    """``repro serve load --chaos``: storm + kill + stall, then the
+    quiesced bit-identical convergence gate."""
+    from .dynamic import run_chaos
+    from .runtime.store import ResultStore
+
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    print(f"chaos: {len(instances)} instances (n={args.n}), "
+          f"{args.chaos_duration:g}s storm, kills={args.kills}, "
+          f"stalls={args.stalls}, bursts={args.bursts}",
+          file=sys.stderr)
+    report = run_chaos(
+        instances, duration=args.chaos_duration, seed=args.seed,
+        workers=args.workers or 2, solver=args.solver, store=store,
+        kills=args.kills, stalls=args.stalls,
+        mutation_bursts=args.bursts, burst_size=args.burst_size,
+        max_staleness=(8 if args.max_staleness is None
+                       else args.max_staleness),
+        query_timeout=args.timeout)
+    failures = []
+    if not report.converged:
+        detail = "; ".join(report.mismatches[:5]) or (
+            "no fresh answers verified"
+            if report.verified == 0
+            else f"{report.failed_workers} workers failed for good")
+        failures.append(f"chaos did not converge: {detail}")
+    if (args.max_p95_ms is not None
+            and report.latency_ms.get("p95", 0.0) > args.max_p95_ms):
+        failures.append(
+            f"chaos: served p95 {report.latency_ms['p95']:.2f}ms > "
+            f"floor {args.max_p95_ms:.2f}ms")
+    if args.check_telemetry:
+        _check_dynamic_telemetry(failures)
+    if args.json:
+        import json
+        payload = report.as_json()
+        payload["failures"] = failures
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"chaos run: {report.queries_sent} queries in "
+              f"{report.duration:.1f}s, outcomes {report.outcomes}")
+        print(f"injected: {report.mutation_batches} mutation batches "
+              f"({report.mutations_applied} applied), "
+              f"{report.kills} kills ({report.restarts} restarts), "
+              f"{report.stalls} stalls")
+        print(f"epochs after storm: {report.epochs}")
+        print(f"quiesce: {report.verified} fresh answers verified, "
+              f"{len(report.mismatches)} mismatches -> "
+              f"{'CONVERGED' if report.converged else 'DIVERGED'}")
+        if report.latency_ms:
+            print(f"served latency: p50 "
+                  f"{report.latency_ms.get('p50', 0):.2f}ms, p95 "
+                  f"{report.latency_ms.get('p95', 0):.2f}ms, p99 "
+                  f"{report.latency_ms.get('p99', 0):.2f}ms")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def cmd_serve_load(args) -> int:
     from .serve import (
         ServeFrontend,
@@ -527,6 +708,8 @@ def cmd_serve_load(args) -> int:
         run_load,
     )
     instances = _daemon_catalog(args)
+    if args.chaos:
+        return _serve_load_chaos(args, instances)
     kinds = args.workload or ["uniform", "zipf", "adversarial",
                               "mixed"]
     daemon = _start_daemon(args, instances)
@@ -554,12 +737,13 @@ def cmd_serve_load(args) -> int:
                 results, report = run_load(
                     frontend, queries, mode=args.mode,
                     concurrency=args.concurrency, qps=args.qps,
-                    timeout=args.timeout)
+                    timeout=args.timeout,
+                    max_staleness=args.max_staleness)
                 row = report.as_json()
                 row["workload"] = kind
-                if report.ok != report.sent:
+                if report.served != report.sent:
                     unhappy = {k: v for k, v in report.outcomes.items()
-                               if k != "ok"}
+                               if k not in ("ok", "stale")}
                     if args.mode == "closed":
                         failures.append(
                             f"{kind}: non-ok outcomes {unhappy}")
@@ -591,12 +775,7 @@ def cmd_serve_load(args) -> int:
         _dump_stats(args, daemon, extra={"load": reports})
         daemon.stop()
     if args.check_telemetry:
-        from .telemetry import snapshot_counters, unknown_serving_labels
-        unknown = unknown_serving_labels(
-            snapshot_counters()["counters"])
-        if unknown:
-            failures.append("unknown serving telemetry labels: "
-                            + ", ".join(unknown))
+        _check_dynamic_telemetry(failures)
     if args.json:
         import json
         print(json.dumps({
@@ -837,6 +1016,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable JSON output")
     p_query.set_defaults(func=cmd_query)
 
+    p_mutate = sub.add_parser(
+        "mutate", help="replay a seeded mutation stream (fault "
+                       "storms, regional failures, maintenance "
+                       "windows) against one instance")
+    add_instance_args(p_mutate)
+    p_mutate.add_argument("--profile", default="burst",
+                          choices=["burst", "storm", "regional",
+                                   "maintenance"],
+                          help="mutation stream profile")
+    p_mutate.add_argument("--steps", type=int, default=3,
+                          help="mutation batches to apply (each bumps "
+                               "the topology epoch)")
+    p_mutate.add_argument("--mutation-seed", type=int, default=0,
+                          help="mutation stream seed (independent of "
+                               "the instance seed)")
+    p_mutate.add_argument("--burst-size", type=int, default=4,
+                          help="mutations per burst batch")
+    p_mutate.add_argument("--fraction", type=float, default=0.1,
+                          help="edge fraction for storm/regional")
+    p_mutate.add_argument("--radius", type=int, default=2,
+                          help="BFS-ball radius for regional storms")
+    p_mutate.add_argument("--window", type=int, default=4,
+                          help="vertex window for maintenance")
+    p_mutate.add_argument("--json", action="store_true",
+                          help="machine-readable JSON output")
+    p_mutate.set_defaults(func=cmd_mutate)
+
+    p_store = sub.add_parser(
+        "store", help="content-addressed result store maintenance")
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_gc = store_sub.add_parser(
+        "gc", help="prune unreachable objects: corrupt files, "
+                   "superseded code versions, superseded topology "
+                   "epochs")
+    p_gc.add_argument("--cache-dir", default=None,
+                      help="store root (default .repro-cache or "
+                           "$REPRO_CACHE_DIR)")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be pruned without "
+                           "deleting anything")
+    p_gc.add_argument("--verbose", action="store_true",
+                      help="list every pruned object")
+    p_gc.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+    p_gc.set_defaults(func=cmd_store_gc)
+
     p_serve = sub.add_parser(
         "serve", help="sharded replacement-path query service")
     serve_sub = p_serve.add_subparsers(dest="serve_command",
@@ -950,6 +1176,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--max-p95-ms", type=float, default=None,
                         help="fail any workload whose ok-request p95 "
                              "exceeds this many milliseconds")
+    p_load.add_argument("--max-staleness", type=int, default=None,
+                        metavar="EPOCHS",
+                        help="per-request staleness budget: during "
+                             "an oracle re-warm, answers up to this "
+                             "many epochs old return 'stale' instead "
+                             "of waiting")
+    p_load.add_argument("--chaos", action="store_true",
+                        help="run the chaos harness instead of plain "
+                             "load: concurrent mutation bursts, "
+                             "worker SIGKILLs, and queue stalls, then "
+                             "a quiesced bit-identical convergence "
+                             "gate")
+    p_load.add_argument("--chaos-duration", type=float, default=3.0,
+                        metavar="SECONDS",
+                        help="chaos storm window (default 3s)")
+    p_load.add_argument("--kills", type=int, default=1,
+                        help="worker SIGKILLs to inject")
+    p_load.add_argument("--stalls", type=int, default=1,
+                        help="queue stalls to inject")
+    p_load.add_argument("--bursts", type=int, default=3,
+                        help="mutation bursts during the storm")
+    p_load.add_argument("--burst-size", type=int, default=4,
+                        help="mutations per burst")
     p_load.add_argument("--json", action="store_true",
                         help="machine-readable JSON output")
     p_load.set_defaults(func=cmd_serve_load)

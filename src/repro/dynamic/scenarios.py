@@ -1,0 +1,194 @@
+"""``dynamic-*`` scenario families: serving while the graph moves.
+
+Each cell stands up the in-process sharded serving tier, serves a warm
+wave, then interleaves mutation batches (one per epoch step, drawn from
+a seeded :class:`~repro.dynamic.stream.MutationStream` profile) with
+post-mutation query waves.  Every answer — before, during, and after
+the storm — is verified against a from-scratch centralized solve of the
+*current-epoch* instance, so the scenario doubles as a correctness gate
+for incremental invalidation and memo carry.
+
+Three families, one per fault model in the issue:
+
+* ``dynamic-fault-storm`` — uncorrelated bursts (fail / heal / weight
+  mix) across the whole edge set.
+* ``dynamic-regional-failure`` — correlated BFS-ball storms: a region
+  goes down at once, the way a rack or a cable cut takes out
+  neighbours together.
+* ``dynamic-maintenance-window`` — rolling planned windows: the edges
+  incident to a sliding vertex window fail, then heal as the window
+  moves on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..graphs.generators import random_instance
+from ..graphs.instance import RPathsInstance
+from ..runtime.registry import scenario
+from ..serve.queries import Query
+from ..serve.workload import verify_against_centralized
+from .stream import MutationStream
+
+Params = Dict[str, object]
+
+
+def _dynamic_instances(n: int, seed: int) -> List[RPathsInstance]:
+    """Two independent instances so invalidation scope is observable:
+    mutating one must leave the other's oracle hot.  Unweighted, so the
+    exact Theorem 1 pipeline serves them; weight mutations are covered
+    by the chaos harness and the CLI (centralized solver)."""
+    return [
+        random_instance(n, seed=seed, name=f"dyn-{seed}-0"),
+        random_instance(max(8, n // 2), seed=seed + 1,
+                        name=f"dyn-{seed}-1"),
+    ]
+
+
+def _wave(rng: random.Random, instances: List[RPathsInstance],
+          count: int) -> List[Query]:
+    """Path-edge queries against the *current* epoch of each instance."""
+    queries: List[Query] = []
+    for _ in range(count):
+        inst = rng.choice(instances)
+        edge = rng.choice(inst.path_edges())
+        queries.append(Query(s=inst.s, t=inst.t, edge=edge,
+                             instance=inst.name))
+    return queries
+
+
+def _mutation_batch(stream: MutationStream, profile: str,
+                    instance: RPathsInstance, step: int,
+                    params: Params):
+    if profile == "storm":
+        return stream.storm(instance,
+                            fraction=float(params.get("fraction", 0.1)))
+    if profile == "regional":
+        return stream.regional_storm(
+            instance, radius=int(params.get("radius", 2)),
+            fraction=float(params.get("fraction", 0.5)))
+    if profile == "maintenance":
+        return stream.maintenance_window(
+            instance, step, window=int(params.get("window", 4)))
+    return stream.burst(instance, int(params.get("burst_size", 4)))
+
+
+def _run_dynamic_cell(profile: str, params: Params,
+                      seed: int) -> Dict[str, object]:
+    from ..serve.shard import ShardedQueryService
+
+    n = int(params["n"])
+    wave_size = int(params["queries"])
+    steps = int(params.get("steps", 3))
+    rng = random.Random(seed)
+    stream = MutationStream(seed=seed)
+    instances = _dynamic_instances(n, seed)
+    by_name = {inst.name: inst for inst in instances}
+    service = ShardedQueryService(
+        list(instances), shards=2, capacity=2, store=None,
+        solver="theorem1", build_seed=seed)
+
+    answers = []
+    checked: List[bool] = []
+
+    def serve_wave() -> None:
+        current = list(by_name.values())
+        wave = _wave(rng, current, wave_size)
+        wave_answers = service.serve(wave).answers
+        answers.extend(wave_answers)
+        checked.append(verify_against_centralized(current, wave_answers))
+
+    serve_wave()  # pre-mutation: warm oracles, baseline answers
+    applied = skipped = 0
+    for step in range(steps):
+        name = rng.choice(sorted(by_name))
+        result = _apply_step(service, stream, profile, by_name[name],
+                             step, params)
+        by_name[name] = result.instance
+        applied += len(result.applied)
+        skipped += len(result.skipped)
+        serve_wave()  # post-mutation: rebuilt oracle, carried memo
+
+    totals = service.serve([]).totals()
+    inst = instances[0]
+    final = list(by_name.values())
+    return {
+        "n": inst.n,
+        "m": inst.m,
+        "hop_count": inst.hop_count,
+        "rounds": totals.rounds,
+        "messages": 0,
+        "words": 0,
+        "max_link_words": 0,
+        "violations": 0,
+        "queries": len(answers),
+        "epochs": max(i.topology_version for i in final),
+        "mutations_applied": applied,
+        "mutations_skipped": skipped,
+        "invalidations": totals.invalidations,
+        "memo_carried": totals.memo_carried,
+        "oracle_builds": totals.oracle_builds,
+        "batch_solves": totals.batch_solves,
+        "solves_saved": totals.solves_saved,
+        "correct": bool(all(checked) and applied > 0),
+    }
+
+
+def _apply_step(service, stream: MutationStream, profile: str,
+                instance: RPathsInstance, step: int, params: Params):
+    batch = _mutation_batch(stream, profile, instance, step, params)
+    result = service.apply_mutations(instance.name, batch)
+    stream.note_applied(instance.name, result.applied)
+    return result
+
+
+@scenario(
+    "dynamic-fault-storm",
+    params=[{"n": 48, "queries": 24, "steps": 3, "fraction": 0.1},
+            {"n": 96, "queries": 32, "steps": 4, "fraction": 0.1}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 24, "queries": 8, "steps": 2,
+                   "fraction": 0.15}],
+    description="Serving through uncorrelated fault storms: each step "
+                "fails a random edge fraction, the shard invalidates "
+                "incrementally, and every wave is verified against the "
+                "current epoch's centralized truth.",
+    tags=("dynamic", "serve", "robustness"),
+)
+def run_fault_storm(params: Params, seed: int) -> Dict[str, object]:
+    return _run_dynamic_cell("storm", params, seed)
+
+
+@scenario(
+    "dynamic-regional-failure",
+    params=[{"n": 48, "queries": 24, "steps": 3, "radius": 2,
+             "fraction": 0.5},
+            {"n": 96, "queries": 32, "steps": 3, "radius": 3,
+             "fraction": 0.5}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 24, "queries": 8, "steps": 2, "radius": 2,
+                   "fraction": 0.5}],
+    description="Correlated regional storms: a BFS ball of edges fails "
+                "together (rack loss), later steps may heal it; "
+                "answers stay exact across epochs.",
+    tags=("dynamic", "serve", "robustness"),
+)
+def run_regional_failure(params: Params, seed: int) -> Dict[str, object]:
+    return _run_dynamic_cell("regional", params, seed)
+
+
+@scenario(
+    "dynamic-maintenance-window",
+    params=[{"n": 48, "queries": 24, "steps": 4, "window": 4},
+            {"n": 96, "queries": 32, "steps": 5, "window": 6}],
+    seeds=[0, 1],
+    smoke_params=[{"n": 24, "queries": 8, "steps": 3, "window": 4}],
+    description="Rolling maintenance: a sliding vertex window's edges "
+                "are failed for the window and healed when it moves, "
+                "modelling planned drain/undrain cycles.",
+    tags=("dynamic", "serve", "robustness"),
+)
+def run_maintenance_window(params: Params, seed: int) -> Dict[str, object]:
+    return _run_dynamic_cell("maintenance", params, seed)

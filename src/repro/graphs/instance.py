@@ -41,6 +41,13 @@ class RPathsInstance:
         or unweighted (Theorem 1).
     name:
         Optional label used in experiment reports.
+    topology_version:
+        Monotone epoch counter for dynamic graphs.  Every applied
+        mutation batch (:func:`repro.dynamic.stream.apply_mutations`)
+        yields a *new* instance with the same name and
+        ``topology_version + 1``; the serve tier keys spilled oracle
+        snapshots by (name, version), so state built against a
+        superseded topology can never be mistaken for fresh.
     """
 
     n: int
@@ -48,6 +55,7 @@ class RPathsInstance:
     path: List[int]
     weighted: bool = False
     name: str = ""
+    topology_version: int = 0
     _adj: Optional[List[List[Tuple[int, int]]]] = field(
         default=None, repr=False, compare=False)
     _radj: Optional[List[List[Tuple[int, int]]]] = field(
@@ -129,6 +137,11 @@ class RPathsInstance:
     def max_weight(self) -> int:
         return max((w for _, _, w in self.edges), default=1)
 
+    @property
+    def versioned_key(self) -> str:
+        """``name@topology_version`` — the serving-tier cache identity."""
+        return f"{self.name}@{self.topology_version}"
+
     # -- centralized shortest paths (oracle machinery) -----------------------
 
     def dijkstra(self, source: int, reverse: bool = False,
@@ -170,6 +183,50 @@ class RPathsInstance:
                     dist[v] = nd
                     heapq.heappush(heap, (nd, v))
         return dist
+
+    def shortest_path_to(self, target: int,
+                         source: Optional[int] = None) -> List[int]:
+        """One shortest source→target path (parent-tracking SSSP).
+
+        Deterministic: among equal-length paths the lowest-numbered
+        predecessor wins, so re-deriving P after a mutation batch is a
+        pure function of the edge list.  Raises
+        :class:`InvalidInstanceError` when the target is unreachable.
+        """
+        source = self.s if source is None else source
+        adj = self.adjacency()
+        dist = [INF] * self.n
+        parent = [-1] * self.n
+        dist[source] = 0
+        if not self.weighted:
+            queue = deque([source])
+            while queue:
+                u = queue.popleft()
+                for v, _ in sorted(adj[u]):
+                    if dist[v] >= INF:
+                        dist[v] = dist[u] + 1
+                        parent[v] = u
+                        queue.append(v)
+        else:
+            heap = [(0, source)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist[u]:
+                    continue
+                for v, w in sorted(adj[u]):
+                    nd = d + w
+                    if nd < dist[v] or (nd == dist[v]
+                                        and parent[v] > u >= 0):
+                        dist[v] = nd
+                        parent[v] = u
+                        heapq.heappush(heap, (nd, v))
+        if dist[target] >= INF:
+            raise InvalidInstanceError(
+                f"vertex {target} unreachable from {source}")
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        return list(reversed(path))
 
     # -- validation ----------------------------------------------------------
 

@@ -407,3 +407,9 @@ def run_scaling_vector(params: Params, seed: int):
 # import; pulling the module in here keeps the registry the single
 # source of truth for `repro suite list` and worker re-imports.
 from ..serve import workload as _serve_workload  # noqa: E402,F401
+
+# -- dynamic-graph robustness -------------------------------------------------
+# The dynamic-* scenarios (fault storms / regional failures / rolling
+# maintenance against the live serving tier) register the incremental
+# invalidation path as first-class, verified suite cells.
+from ..dynamic import scenarios as _dynamic_scenarios  # noqa: E402,F401

@@ -126,6 +126,88 @@ class ResultStore:
             return 0
         return sum(1 for _ in self.objects_dir.glob("*.json"))
 
+    # -- garbage collection ------------------------------------------------
+
+    def gc(self, dry_run: bool = False) -> Dict[str, object]:
+        """Prune objects that can never be read again.
+
+        Three classes are garbage, checked in order:
+
+        * **corrupt** — unparseable objects (interrupted writes); a
+          lookup would drop them anyway, gc just does it eagerly.
+        * **superseded code** — the stored filename no longer matches
+          ``cell_key(spec)`` under the *current* code version, so no
+          lookup will ever compute this address again.
+        * **superseded topology** — ``serve-oracle`` spills for an
+          ``(instance, solver)`` pair at a topology version below the
+          newest one on disk; mutation bumped the epoch past them and
+          :meth:`~repro.serve.oracle.ReplacementPathOracle.from_snapshot`
+          refuses stale epochs, so they are dead weight.
+
+        ``dry_run=True`` reports what *would* be pruned without
+        touching the filesystem.  Returns a JSON-safe report.
+        """
+        from ..serve.shard import SPILL_SCENARIO
+
+        report: Dict[str, object] = {
+            "scanned": 0, "kept": 0, "pruned": 0, "bytes": 0,
+            "dry_run": bool(dry_run),
+            "reasons": {"corrupt": 0, "superseded_code": 0,
+                        "superseded_topology": 0},
+            "victims": [],
+        }
+        reasons: Dict[str, int] = report["reasons"]  # type: ignore
+        victims: List[Dict[str, object]] = report["victims"]  # type: ignore
+        if not self.objects_dir.is_dir():
+            return report
+
+        def condemn(path: pathlib.Path, reason: str,
+                    detail: str) -> None:
+            report["pruned"] += 1  # type: ignore[operator]
+            report["bytes"] += path.stat().st_size  # type: ignore
+            reasons[reason] += 1
+            victims.append({"object": path.name, "reason": reason,
+                            "detail": detail})
+            if not dry_run:
+                path.unlink(missing_ok=True)
+            _counters.registry.inc("repro_store_gc_total",
+                                   reason=reason)
+
+        # Pass 1: parse everything, classify code-version garbage, and
+        # find the newest topology epoch per (instance, solver) spill.
+        live: List[Tuple[pathlib.Path, CellResult]] = []
+        newest: Dict[Tuple[str, str], int] = {}
+        for path in sorted(self.objects_dir.glob("*.json")):
+            report["scanned"] += 1  # type: ignore[operator]
+            try:
+                result = CellResult.from_json(path.read_text())
+            except (ValueError, KeyError):
+                condemn(path, "corrupt", "unparseable object")
+                continue
+            if cell_key(result.spec) != path.stem:
+                condemn(path, "superseded_code",
+                        f"{result.scenario} under an old code version")
+                continue
+            if result.scenario == SPILL_SCENARIO:
+                ident = (str(result.params.get("instance", "")),
+                         str(result.params.get("solver", "")))
+                epoch = int(result.params.get("topology_version", 0))
+                newest[ident] = max(newest.get(ident, 0), epoch)
+            live.append((path, result))
+
+        # Pass 2: of the survivors, drop spills whose epoch is behind.
+        for path, result in live:
+            if result.scenario == SPILL_SCENARIO:
+                ident = (str(result.params.get("instance", "")),
+                         str(result.params.get("solver", "")))
+                epoch = int(result.params.get("topology_version", 0))
+                if epoch < newest[ident]:
+                    condemn(path, "superseded_topology",
+                            f"{ident[0]}@{epoch} < @{newest[ident]}")
+                    continue
+            report["kept"] += 1  # type: ignore[operator]
+        return report
+
     # -- run manifests -----------------------------------------------------
 
     def record_run(self, label: str,

@@ -23,8 +23,13 @@ precomputed answers hot and amortizes everything else:
   processes that own their shards (shared-memory topology attach,
   warm-once oracles, heartbeat health, bounded restart with re-warm).
 * :mod:`~repro.serve.frontend` — ``ServeFrontend``: threaded admission
-  with a bounded queue, per-request deadlines, and per-shard
-  in-flight caps (reject-with-``overloaded`` backpressure).
+  with a bounded queue, per-request deadlines, per-shard in-flight
+  caps (reject-with-``overloaded`` backpressure), and per-request
+  staleness budgets (degraded-mode ``stale`` answers while an
+  invalidated oracle re-warms).
+* :mod:`~repro.serve.client` — ``query_with_retry``: bounded
+  exponential-backoff retries on transient ``overloaded`` /
+  ``worker-lost`` outcomes.
 * :mod:`~repro.serve.loadgen` — open/closed-loop load generation with
   p50/p95/p99 latency reporting for the SLO gates.
 
@@ -32,6 +37,12 @@ See DESIGN.md's "Serving layer" and "Serve daemon" sections for the
 full cost model and lifecycle.
 """
 
+from .client import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    query_with_retry,
+    run_queries_with_retry,
+)
 from .daemon import ServeDaemon, WorkerConfig
 from .frontend import (
     DEFAULT_TIMEOUT,
@@ -80,6 +91,7 @@ from .workload import (
 __all__ = [
     "BATCHED_SOLVE",
     "BatchPlanner",
+    "DEFAULT_RETRY_POLICY",
     "DEFAULT_TIMEOUT",
     "FALLBACK_CACHED",
     "FALLBACK_SOLVE",
@@ -93,6 +105,7 @@ __all__ = [
     "Query",
     "QueryAnswer",
     "ReplacementPathOracle",
+    "RetryPolicy",
     "ServeDaemon",
     "ServeFrontend",
     "ServeResult",
@@ -108,8 +121,10 @@ __all__ = [
     "kind_counts",
     "latency_summary_ms",
     "percentile",
+    "query_with_retry",
     "run_load",
     "run_queries",
+    "run_queries_with_retry",
     "shard_of",
     "spill_key",
 ]

@@ -43,10 +43,12 @@ import os
 import queue as _thread_queue
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
+from ..dynamic import stream as _stream
 from ..graphs.instance import RPathsInstance
 from ..runtime.executor import default_jobs
 from ..runtime.store import ResultStore
@@ -59,6 +61,11 @@ from .shard import OracleShard, ShardStats, _portable_instance, shard_of
 #: Request-queue message kinds (worker side).
 _MSG_BATCH = "batch"
 _MSG_STATS = "stats"
+#: Topology epoch bump: (kind, instance key, new instance, applied).
+_MSG_INVALIDATE = "invalidate"
+#: Chaos injection: (kind, seconds) — the worker sleeps in its serving
+#: loop without stamping its heartbeat, simulating a wedged queue.
+_MSG_STALL = "stall"
 
 #: Response-queue message kinds (parent side).
 _RSP_READY = "ready"
@@ -66,10 +73,13 @@ _RSP_ANSWER = "answer"
 _RSP_STATS = "stats"
 _RSP_FINAL = "final"
 
-#: Answer callback: (lengths, kinds, error) — lengths/kinds are None
-#: exactly when error is non-empty.
+#: Answer callback: (lengths, kinds, lags, error) — lengths/kinds/lags
+#: are None exactly when error is non-empty.  ``lags[i]`` is how many
+#: topology epochs behind the current instance answer ``i`` is
+#: (0 = fresh; positive = degraded-mode answer from a previous-epoch
+#: oracle within the request's staleness budget).
 AnswerCallback = Callable[[Optional[List[int]], Optional[List[str]],
-                           str], None]
+                           Optional[List[int]], str], None]
 
 
 @dataclass(frozen=True)
@@ -92,6 +102,10 @@ class WorkerConfig:
     build_seed: int = 0
     #: Queue-poll interval — also the heartbeat cadence while idle.
     poll_seconds: float = 0.05
+    #: Artificial delay before an invalidated oracle's background
+    #: rebuild starts — a test/chaos knob that widens the degraded
+    #: window so stale serving is deterministically observable.
+    rebuild_delay: float = 0.0
     #: instance key -> SharedTopologyHandle (empty when numpy absent).
     topology_handles: Tuple[Tuple[str, object], ...] = ()
 
@@ -137,6 +151,68 @@ def _worker_main(config: WorkerConfig, request_q, response_q,
         return
     response_q.put((_RSP_READY, sid, os.getpid(),
                     shard.stats.as_metrics(), ""))
+
+    #: key -> Event set once the post-invalidation rebuild finishes.
+    rebuild_events: Dict[str, threading.Event] = {}
+
+    def start_rebuild(key: str) -> None:
+        event = threading.Event()
+        rebuild_events[key] = event
+
+        def run() -> None:
+            try:
+                if config.rebuild_delay > 0:
+                    time.sleep(config.rebuild_delay)
+                shard.planner_for(key)
+            except Exception:  # noqa: BLE001 - next fresh-demanding
+                pass           # batch retries the build inline
+            finally:
+                event.set()
+
+        threading.Thread(target=run, daemon=True,
+                         name=f"serve-rebuild-{sid}-{key}").start()
+
+    def answer_with_staleness(queries: List[Query],
+                              staleness: List[int],
+                              ) -> Tuple[List[int], List[str],
+                                         List[int]]:
+        """Per-instance split: fresh when hot, stale within budget
+        while the rebuild runs, otherwise wait for fresh."""
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for idx, q in enumerate(queries):
+            groups.setdefault(q.instance, []).append(idx)
+        lengths = [0] * len(queries)
+        kinds = [""] * len(queries)
+        lags = [0] * len(queries)
+        for key, indices in groups.items():
+            sub = [queries[i] for i in indices]
+            if not shard.has_hot(key):
+                budget = min(staleness[i] for i in indices)
+                prev = shard.previous_for(key)
+                if prev is not None and budget > 0:
+                    lag = shard.current_epoch(key) - prev[0]
+                    if 0 < lag <= budget:
+                        stale = shard.answer_stale(sub)
+                        if stale is not None:
+                            answers, sub_lags = stale
+                            for i, a, lg in zip(indices, answers,
+                                                sub_lags):
+                                lengths[i] = a.length
+                                kinds[i] = a.kind
+                                lags[i] = lg
+                            continue
+                event = rebuild_events.get(key)
+                if event is not None:
+                    # Fresh demanded mid-rebuild: wait it out,
+                    # stamping the heartbeat so the monitor stays calm.
+                    while not event.wait(timeout=config.poll_seconds):
+                        heartbeat.value = time.time()
+            answers = shard.answer_batch(sub)
+            for i, a in zip(indices, answers):
+                lengths[i] = a.length
+                kinds[i] = a.kind
+        return lengths, kinds, lags
+
     try:
         while True:
             heartbeat.value = time.time()
@@ -152,14 +228,26 @@ def _worker_main(config: WorkerConfig, request_q, response_q,
                                 shard.stats.as_metrics(),
                                 len(shard._planners)))
                 continue
-            _kind, req_id, queries = item
+            if kind == _MSG_INVALIDATE:
+                _kind, key, new_instance, applied = item
+                try:
+                    shard.invalidate(key, new_instance, list(applied))
+                    start_rebuild(key)
+                except KeyError:
+                    pass  # not this worker's instance: stale route
+                continue
+            if kind == _MSG_STALL:
+                time.sleep(float(item[1]))  # chaos: wedge the loop
+                continue
+            _kind, req_id, queries, staleness = item
             try:
-                answers = shard.answer_batch(list(queries))
+                lengths, kinds, lags = answer_with_staleness(
+                    list(queries), list(staleness))
                 response_q.put((_RSP_ANSWER, sid, req_id,
-                                [a.length for a in answers],
-                                [a.kind for a in answers], ""))
+                                lengths, kinds, lags, ""))
             except Exception as exc:  # noqa: BLE001 - per-request
                 response_q.put((_RSP_ANSWER, sid, req_id, None, None,
+                                None,
                                 f"{type(exc).__name__}: {exc}"))
     finally:
         response_q.put((_RSP_FINAL, sid, shard.stats.as_metrics(),
@@ -212,7 +300,8 @@ class ServeDaemon:
                  poll_seconds: float = 0.05,
                  heartbeat_timeout: float = 5.0,
                  monitor_interval: float = 0.25,
-                 max_restarts: int = 2) -> None:
+                 max_restarts: int = 2,
+                 rebuild_delay: float = 0.0) -> None:
         instances = list(instances)
         if not instances:
             raise ValueError("daemon needs at least one instance")
@@ -250,13 +339,18 @@ class ServeDaemon:
                             else str(store.root)),
                 solver=solver, build_fabric=build_fabric,
                 planner_fabric=planner_fabric, max_group=max_group,
-                build_seed=build_seed, poll_seconds=poll_seconds))
+                build_seed=build_seed, poll_seconds=poll_seconds,
+                rebuild_delay=rebuild_delay))
         self._published: List[object] = []
         self._req_ids = itertools.count(1)
         self._lock = threading.Lock()
-        #: req_id -> (shard_id, queries, callback); resubmitted on a
-        #: worker restart, resolved exactly once by the collector.
+        #: Serializes topology mutations (epoch bumps are ordered).
+        self._mutate_lock = threading.Lock()
+        #: req_id -> (shard_id, queries, staleness, callback);
+        #: resubmitted on a worker restart, resolved exactly once by
+        #: the collector.
         self._pending: Dict[int, Tuple[int, Tuple[Query, ...],
+                                       Tuple[int, ...],
                                        AnswerCallback]] = {}
         self._inflight: Dict[int, int] = {
             sid: 0 for sid in self._workers}
@@ -287,6 +381,72 @@ class ServeDaemon:
         """Queries dispatched to ``shard_id`` and not yet answered."""
         with self._lock:
             return self._inflight.get(shard_id, 0)
+
+    def instance_for(self, instance_key: str) -> RPathsInstance:
+        """The parent's authoritative (current-epoch) instance."""
+        sid = self.shard_for_key(instance_key)
+        for inst in self._instances[sid]:
+            if inst.name == instance_key:
+                return inst
+        raise KeyError(instance_key)
+
+    def epoch_of(self, instance_key: str) -> int:
+        return self.instance_for(instance_key).topology_version
+
+    # -- dynamic topology ----------------------------------------------------
+
+    def apply_mutations(self, instance_key: str,
+                        mutations: Sequence["_stream.Mutation"],
+                        ) -> "_stream.MutationResult":
+        """Mutate one live instance and invalidate its worker.
+
+        The parent is authoritative for epochs: it applies the batch
+        (cheap — one SSSP), swaps the instance into the owning
+        worker's config (so a *restart* warms against the new epoch,
+        not the old one), drops the now-stale shared-topology handle,
+        and sends the worker an invalidate message that rotates its
+        hot oracle and kicks the background re-warm.
+        """
+        sid = self.shard_for_key(instance_key)
+        worker = self._workers[sid]
+        with self._mutate_lock:
+            current = self.instance_for(instance_key)
+            result = _stream.apply_mutations(current, mutations)
+            if not result.applied:
+                return result
+            insts = self._instances[sid]
+            for i, inst in enumerate(insts):
+                if inst.name == instance_key:
+                    insts[i] = result.instance
+            portable = _portable_instance(result.instance)
+            config = worker.config
+            worker.config = WorkerConfig(**{
+                **config.__dict__,
+                "instances": tuple(
+                    portable if inst.name == instance_key else inst
+                    for inst in config.instances),
+                "topology_handles": tuple(
+                    (name, handle)
+                    for name, handle in config.topology_handles
+                    if name != instance_key),
+            })
+            handles = getattr(self, "_topology_handles", None)
+            if handles is not None:
+                handles.pop(instance_key, None)
+        if (self._running and not self._stopping
+                and worker.process is not None and not worker.failed):
+            worker.request_q.put((_MSG_INVALIDATE, instance_key,
+                                  portable, tuple(result.applied)))
+        return result
+
+    def inject_stall(self, shard_id: int, seconds: float) -> None:
+        """Chaos hook: wedge one worker's serving loop for
+        ``seconds`` without heartbeats (long stalls trip the monitor,
+        short ones just back the queue up — both on purpose)."""
+        worker = self._workers[shard_id]
+        if worker.process is None:
+            raise RuntimeError("daemon is not running (call start())")
+        worker.request_q.put((_MSG_STALL, float(seconds)))
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -425,8 +585,8 @@ class ServeDaemon:
             self._pending.clear()
             for sid in self._inflight:
                 self._inflight[sid] = 0
-        for _req_id, (_sid, _queries, callback) in leftovers:
-            callback(None, None, "shutdown")
+        for _req_id, entry in leftovers:
+            entry[3](None, None, None, "shutdown")
         for shared in self._published:
             shared.close()
         self._published.clear()
@@ -439,16 +599,26 @@ class ServeDaemon:
 
     def submit_batch(self, queries: Sequence[Query],
                      callback: AnswerCallback,
-                     shard_id: Optional[int] = None) -> int:
+                     shard_id: Optional[int] = None,
+                     staleness: Optional[Sequence[int]] = None) -> int:
         """Queue one single-shard batch; the collector thread invokes
         ``callback`` exactly once when the answer (or error) arrives.
 
         All queries must route to the same shard (the front-end groups
-        per shard before submitting).  Returns the request id.
+        per shard before submitting).  ``staleness[i]`` is query i's
+        epoch budget: the worker may answer from an oracle up to that
+        many epochs behind while the fresh one re-warms (0, the
+        default, demands fresh).  Returns the request id.
         """
         queries = tuple(queries)
         if not queries:
             raise ValueError("empty batch")
+        if staleness is None:
+            staleness = (0,) * len(queries)
+        else:
+            staleness = tuple(int(x) for x in staleness)
+            if len(staleness) != len(queries):
+                raise ValueError("one staleness budget per query")
         if shard_id is None:
             shard_id = self.shard_for_key(queries[0].instance)
         for q in queries:
@@ -461,31 +631,34 @@ class ServeDaemon:
             raise RuntimeError("daemon is not running (call start())")
         req_id = next(self._req_ids)
         if worker.failed or self._stopping:
-            callback(None, None,
+            callback(None, None, None,
                      "worker-lost" if worker.failed else "shutdown")
             return req_id
         with self._lock:
-            self._pending[req_id] = (shard_id, queries, callback)
+            self._pending[req_id] = (shard_id, queries, staleness,
+                                     callback)
             self._inflight[shard_id] += len(queries)
             _serving.set_inflight(shard_id,
                                   self._inflight[shard_id])
-        worker.request_q.put((_MSG_BATCH, req_id, queries))
+        worker.request_q.put((_MSG_BATCH, req_id, queries, staleness))
         return req_id
 
     def query(self, instance_key: str, s: int, t: int,
               edge: Tuple[int, int],
-              timeout: Optional[float] = None) -> QueryAnswer:
+              timeout: Optional[float] = None,
+              max_staleness: int = 0) -> QueryAnswer:
         """Synchronous single query (batch of one) through a worker."""
         q = Query(s=s, t=t, edge=(int(edge[0]), int(edge[1])),
                   instance=instance_key)
         done = threading.Event()
         box: List[object] = [None, None]
 
-        def callback(lengths, kinds, error):
+        def callback(lengths, kinds, lags, error):
             box[0], box[1] = (lengths, kinds), error
             done.set()
 
-        self.submit_batch([q], callback)
+        self.submit_batch([q], callback,
+                          staleness=(int(max_staleness),))
         if not done.wait(timeout=timeout):
             raise TimeoutError(
                 f"no answer for {q.label} within {timeout}s")
@@ -496,23 +669,23 @@ class ServeDaemon:
 
     # -- collector / monitor threads ----------------------------------------
 
-    def _resolve(self, req_id: int, lengths, kinds,
+    def _resolve(self, req_id: int, lengths, kinds, lags,
                  error: str) -> None:
         with self._lock:
             entry = self._pending.pop(req_id, None)
             if entry is None:
                 return  # duplicate after a restart resubmit: dropped
-            shard_id, queries, callback = entry
+            shard_id, queries, _staleness, callback = entry
             self._inflight[shard_id] = max(
                 0, self._inflight[shard_id] - len(queries))
             _serving.set_inflight(shard_id, self._inflight[shard_id])
-        callback(lengths, kinds, error)
+        callback(lengths, kinds, lags, error)
 
     def _handle_response(self, msg) -> None:
         kind = msg[0]
         if kind == _RSP_ANSWER:
-            _kind, _sid, req_id, lengths, kinds, error = msg
-            self._resolve(req_id, lengths, kinds, error)
+            _kind, _sid, req_id, lengths, kinds, lags, error = msg
+            self._resolve(req_id, lengths, kinds, lags, error)
         elif kind == _RSP_READY:
             _kind, sid, pid, warm_stats, error = msg
             worker = self._workers[sid]
@@ -605,21 +778,26 @@ class ServeDaemon:
                     del self._pending[req_id]
                 self._inflight[sid] = 0
                 _serving.set_inflight(sid, 0)
-            for _req_id, (_sid, _queries, callback) in lost:
-                callback(None, None, "worker-lost")
+            for _req_id, entry in lost:
+                entry[3](None, None, None, "worker-lost")
             return
         worker.restarts += 1
         _serving.record_daemon_event(_serving.EVENT_WORKER_RESTART)
+        # The restart warms from worker.config, which apply_mutations
+        # keeps at the current epoch — so pending requests resubmit
+        # against the *new* topology even when the kill raced an
+        # invalidate message the dead worker never consumed.
         self._spawn(worker, getattr(self, "_topology_handles", {}))
         with self._lock:
             outstanding = [
-                (req_id, entry[1])
+                (req_id, entry[1], entry[2])
                 for req_id, entry in sorted(self._pending.items())
                 if entry[0] == sid
             ]
-        for req_id, queries in outstanding:
+        for req_id, queries, staleness in outstanding:
             _serving.record_daemon_event(_serving.EVENT_RESUBMIT)
-            worker.request_q.put((_MSG_BATCH, req_id, queries))
+            worker.request_q.put((_MSG_BATCH, req_id, queries,
+                                  staleness))
 
     # -- observability -------------------------------------------------------
 
@@ -674,6 +852,8 @@ class ServeDaemon:
             "running": self._running,
             "restarts": sum(w.restarts
                             for w in self._workers.values()),
+            "epochs": {key: self.epoch_of(key)
+                       for key in self.instance_keys},
             "shards": shards,
             "totals": totals.as_metrics(),
             "counters": _counters.snapshot_counters(),

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..telemetry import serving as _serving
+from ..telemetry.dynamic import set_epoch_lag
 from .daemon import ServeDaemon
 from .queries import Query, QueryAnswer
 
@@ -45,9 +46,11 @@ class PendingQuery:
     """One admitted request: resolves exactly once to an outcome."""
 
     __slots__ = ("query", "deadline", "submitted", "resolved_at",
-                 "outcome", "answer", "error", "_event", "_lock")
+                 "outcome", "answer", "error", "max_staleness", "lag",
+                 "_event", "_lock")
 
-    def __init__(self, query: Query, timeout: float) -> None:
+    def __init__(self, query: Query, timeout: float,
+                 max_staleness: int = 0) -> None:
         self.query = query
         self.submitted = time.time()
         self.deadline = self.submitted + timeout
@@ -55,6 +58,11 @@ class PendingQuery:
         self.outcome: Optional[str] = None
         self.answer: Optional[QueryAnswer] = None
         self.error = ""
+        #: Epoch budget: answers up to this many topology epochs
+        #: behind are acceptable (resolved as ``stale``, with the
+        #: answer attached).  0 demands fresh.
+        self.max_staleness = int(max_staleness)
+        self.lag = 0
         self._event = threading.Event()
         self._lock = threading.Lock()
 
@@ -63,7 +71,7 @@ class PendingQuery:
         return self._event.is_set()
 
     def resolve(self, outcome: str, answer: Optional[QueryAnswer] = None,
-                error: str = "") -> bool:
+                error: str = "", lag: int = 0) -> bool:
         """First resolution wins; later ones (e.g. a worker answer
         landing after the deadline fired) are dropped."""
         with self._lock:
@@ -72,10 +80,13 @@ class PendingQuery:
             self.outcome = outcome
             self.answer = answer
             self.error = error
+            self.lag = int(lag)
             self.resolved_at = time.time()
             self._event.set()
         _serving.record_admission(outcome)
         _serving.observe_request_seconds(self.latency_seconds)
+        if outcome in _serving.SERVED_OUTCOMES:
+            set_epoch_lag(self.lag)
         return True
 
     @property
@@ -93,7 +104,7 @@ class PendingQuery:
         return ServeResult(query=self.query, outcome=self.outcome,
                            answer=self.answer,
                            latency_seconds=self.latency_seconds,
-                           error=self.error)
+                           error=self.error, lag=self.lag)
 
 
 @dataclass(frozen=True)
@@ -105,10 +116,18 @@ class ServeResult:
     answer: Optional[QueryAnswer]
     latency_seconds: float
     error: str = ""
+    #: Epochs behind the current topology (0 = fresh; positive only
+    #: for ``stale`` outcomes, bounded by the request's budget).
+    lag: int = 0
 
     @property
     def ok(self) -> bool:
         return self.outcome == _serving.OUTCOME_OK
+
+    @property
+    def served(self) -> bool:
+        """An answer arrived (fresh or within-budget stale)."""
+        return self.outcome in _serving.SERVED_OUTCOMES
 
 
 class ServeFrontend:
@@ -124,13 +143,17 @@ class ServeFrontend:
     def __init__(self, daemon: ServeDaemon, max_queue: int = 256,
                  default_timeout: float = DEFAULT_TIMEOUT,
                  max_batch: int = 32,
-                 max_inflight: int = 64) -> None:
+                 max_inflight: int = 64,
+                 default_staleness: int = 0) -> None:
         if max_queue < 1 or max_batch < 1 or max_inflight < 1:
             raise ValueError("front-end bounds must be positive")
+        if default_staleness < 0:
+            raise ValueError("staleness budget cannot be negative")
         self.daemon = daemon
         self.default_timeout = default_timeout
         self.max_batch = max_batch
         self.max_inflight = max_inflight
+        self.default_staleness = default_staleness
         self._queue: "_thread_queue.Queue[Optional[PendingQuery]]" = (
             _thread_queue.Queue(maxsize=max_queue))
         self._closed = False
@@ -142,10 +165,13 @@ class ServeFrontend:
     # -- client API ---------------------------------------------------------
 
     def submit(self, query: Query,
-               timeout: Optional[float] = None) -> PendingQuery:
+               timeout: Optional[float] = None,
+               max_staleness: Optional[int] = None) -> PendingQuery:
         """Admit or reject one query; never blocks on a full queue."""
         pending = PendingQuery(
-            query, self.default_timeout if timeout is None else timeout)
+            query, self.default_timeout if timeout is None else timeout,
+            max_staleness=(self.default_staleness
+                           if max_staleness is None else max_staleness))
         if self._closed:
             pending.resolve(_serving.OUTCOME_SHUTDOWN)
             return pending
@@ -159,11 +185,13 @@ class ServeFrontend:
 
     def query(self, instance_key: str, s: int, t: int,
               edge: Tuple[int, int],
-              timeout: Optional[float] = None) -> ServeResult:
+              timeout: Optional[float] = None,
+              max_staleness: Optional[int] = None) -> ServeResult:
         """Synchronous submit + wait."""
         q = Query(s=s, t=t, edge=(int(edge[0]), int(edge[1])),
                   instance=instance_key)
-        return self.submit(q, timeout=timeout).result()
+        return self.submit(q, timeout=timeout,
+                           max_staleness=max_staleness).result()
 
     def close(self) -> None:
         """Stop admitting; resolve everything still queued as shutdown."""
@@ -237,7 +265,7 @@ class ServeFrontend:
 
         group_now = list(live)
 
-        def callback(lengths, kinds, error):
+        def callback(lengths, kinds, lags, error):
             if error:
                 outcome = {
                     "shutdown": _serving.OUTCOME_SHUTDOWN,
@@ -246,12 +274,17 @@ class ServeFrontend:
                 for p in group_now:
                     p.resolve(outcome, error=error)
                 return
-            for p, length, kind in zip(group_now, lengths, kinds):
-                p.resolve(_serving.OUTCOME_OK,
-                          QueryAnswer(p.query, length, kind))
+            for p, length, kind, lag in zip(group_now, lengths,
+                                            kinds, lags):
+                p.resolve(
+                    _serving.OUTCOME_STALE if lag > 0
+                    else _serving.OUTCOME_OK,
+                    QueryAnswer(p.query, length, kind), lag=lag)
 
-        self.daemon.submit_batch([p.query for p in group_now],
-                                 callback, shard_id=shard_id)
+        self.daemon.submit_batch(
+            [p.query for p in group_now], callback,
+            shard_id=shard_id,
+            staleness=[p.max_staleness for p in group_now])
 
     def _dispatch_loop(self) -> None:
         while not self._closed:
@@ -288,7 +321,11 @@ class ServeFrontend:
 
 
 def run_queries(frontend: ServeFrontend, queries: Sequence[Query],
-                timeout: Optional[float] = None) -> List[ServeResult]:
+                timeout: Optional[float] = None,
+                max_staleness: Optional[int] = None,
+                ) -> List[ServeResult]:
     """Submit everything, then collect — the simple pipelined client."""
-    pendings = [frontend.submit(q, timeout=timeout) for q in queries]
+    pendings = [frontend.submit(q, timeout=timeout,
+                                max_staleness=max_staleness)
+                for q in queries]
     return [p.result() for p in pendings]

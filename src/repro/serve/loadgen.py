@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..telemetry.serving import OUTCOME_OK
+from ..telemetry.serving import OUTCOME_OK, OUTCOME_STALE, SERVED_OUTCOMES
 from .frontend import ServeFrontend
 from .queries import Query
 
@@ -80,11 +80,22 @@ class LoadReport:
     def ok(self) -> int:
         return self.outcomes.get(OUTCOME_OK, 0)
 
+    @property
+    def stale(self) -> int:
+        return self.outcomes.get(OUTCOME_STALE, 0)
+
+    @property
+    def served(self) -> int:
+        """Requests that got an answer (fresh or within-budget stale)."""
+        return self.ok + self.stale
+
     def as_json(self) -> Dict[str, object]:
         return {
             "mode": self.mode,
             "sent": self.sent,
             "ok": self.ok,
+            "stale": self.stale,
+            "served": self.served,
             "outcomes": dict(sorted(self.outcomes.items())),
             "wall_seconds": round(self.wall_seconds, 6),
             "achieved_qps": round(self.achieved_qps, 3),
@@ -97,7 +108,8 @@ class LoadReport:
 
 def _run_closed(frontend: ServeFrontend, queries: Sequence[Query],
                 concurrency: int, qps: Optional[float],
-                timeout: Optional[float]) -> List["object"]:
+                timeout: Optional[float],
+                max_staleness: Optional[int]) -> List["object"]:
     """Each thread: take next query, submit, wait, repeat."""
     results: List[object] = [None] * len(queries)
     cursor = iter(range(len(queries)))
@@ -120,7 +132,8 @@ def _run_closed(frontend: ServeFrontend, queries: Sequence[Query],
                     time.sleep(delay)
                 next_at += interval
             results[idx] = frontend.submit(
-                queries[idx], timeout=timeout).result()
+                queries[idx], timeout=timeout,
+                max_staleness=max_staleness).result()
 
     threads = [threading.Thread(target=client, args=(i,), daemon=True)
                for i in range(concurrency)]
@@ -132,7 +145,8 @@ def _run_closed(frontend: ServeFrontend, queries: Sequence[Query],
 
 
 def _run_open(frontend: ServeFrontend, queries: Sequence[Query],
-              qps: float, timeout: Optional[float]) -> List["object"]:
+              qps: float, timeout: Optional[float],
+              max_staleness: Optional[int]) -> List["object"]:
     """Submit on schedule without waiting, then collect."""
     pendings = []
     start = time.time()
@@ -141,7 +155,8 @@ def _run_open(frontend: ServeFrontend, queries: Sequence[Query],
         delay = target - time.time()
         if delay > 0:
             time.sleep(delay)
-        pendings.append(frontend.submit(query, timeout=timeout))
+        pendings.append(frontend.submit(query, timeout=timeout,
+                                        max_staleness=max_staleness))
     return [p.result() for p in pendings]
 
 
@@ -149,13 +164,16 @@ def run_load(frontend: ServeFrontend, queries: Sequence[Query],
              mode: str = "closed", concurrency: int = 4,
              qps: Optional[float] = None,
              timeout: Optional[float] = None,
+             max_staleness: Optional[int] = None,
              ) -> "tuple[List[object], LoadReport]":
     """Drive ``queries`` through ``frontend``; return (results, report).
 
     ``mode="open"`` requires ``qps``.  Latency percentiles cover only
-    requests that completed ``ok`` — rejected/timed-out requests show
-    up in the outcome histogram instead, so shed load cannot flatter
-    the latency numbers.
+    requests that completed with an answer (``ok`` or within-budget
+    ``stale``) — rejected/timed-out requests show up in the outcome
+    histogram instead, so shed load cannot flatter the latency
+    numbers.  ``max_staleness`` forwards the per-request epoch budget
+    (degraded-mode serving during fault storms).
     """
     queries = list(queries)
     if mode not in ("closed", "open"):
@@ -167,20 +185,21 @@ def run_load(frontend: ServeFrontend, queries: Sequence[Query],
     start = time.time()
     if mode == "closed":
         results = _run_closed(frontend, queries, concurrency, qps,
-                              timeout)
+                              timeout, max_staleness)
     else:
-        results = _run_open(frontend, queries, qps, timeout)
+        results = _run_open(frontend, queries, qps, timeout,
+                            max_staleness)
     wall = max(time.time() - start, 1e-9)
     outcomes: Dict[str, int] = {}
-    ok_latencies: List[float] = []
+    served_latencies: List[float] = []
     for res in results:
         outcomes[res.outcome] = outcomes.get(res.outcome, 0) + 1
-        if res.outcome == OUTCOME_OK:
-            ok_latencies.append(res.latency_seconds)
+        if res.outcome in SERVED_OUTCOMES:
+            served_latencies.append(res.latency_seconds)
     report = LoadReport(
         mode=mode, sent=len(queries), wall_seconds=wall,
-        achieved_qps=len(ok_latencies) / wall, target_qps=qps,
+        achieved_qps=len(served_latencies) / wall, target_qps=qps,
         concurrency=(concurrency if mode == "closed" else 1),
         outcomes=outcomes,
-        latency_ms=latency_summary_ms(ok_latencies))
+        latency_ms=latency_summary_ms(served_latencies))
     return results, report

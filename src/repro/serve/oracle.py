@@ -39,6 +39,15 @@ from .. import telemetry
 from ..congest.words import INF, clamp_inf
 from ..graphs.instance import RPathsInstance
 from ..telemetry import counters as _counters
+from ..telemetry.dynamic import (
+    MUT_FAIL,
+    MUT_HEAL,
+    MUT_WEIGHT,
+    SCOPE_MEMO_DROPPED,
+    SCOPE_MEMO_KEPT,
+    SCOPE_SPILL_STALE,
+    record_invalidation,
+)
 from .queries import (
     FALLBACK_CACHED,
     FALLBACK_SOLVE,
@@ -218,6 +227,7 @@ class ReplacementPathOracle:
             "m": self.instance.m,
             "solver": self.solver,
             "build_rounds": self.build_rounds,
+            "topology_version": self.instance.topology_version,
         }
 
     @classmethod
@@ -225,8 +235,19 @@ class ReplacementPathOracle:
                       data: Dict[str, object],
                       ) -> Optional["ReplacementPathOracle"]:
         """Restore a spilled oracle; None if the snapshot does not
-        match the instance (wrong path or size — never trust it)."""
+        match the instance (wrong path or size — never trust it).
+
+        The topology version is checked first: spill keys carry it, so
+        a superseded-epoch snapshot should never even be looked up —
+        but if one arrives anyway (hand-copied store, renamed
+        instance), it is refused with a ``spill-stale`` invalidation
+        rather than silently serving pre-mutation lengths.
+        """
         try:
+            if (int(data.get("topology_version", 0))
+                    != instance.topology_version):
+                record_invalidation(SCOPE_SPILL_STALE)
+                return None
             if (list(data["path"]) != list(instance.path)
                     or int(data["n"]) != instance.n
                     or int(data["m"]) != instance.m):
@@ -239,6 +260,74 @@ class ReplacementPathOracle:
         return cls(instance=instance, lengths=lengths,
                    solver=str(data.get("solver", "theorem1")),
                    build_rounds=int(data.get("build_rounds", 0)))
+
+
+def _row_survives(dist: List[int], mutations) -> bool:
+    """True when no mutation can have changed this (s, e) vector.
+
+    ``dist`` is d(s, ·) in G_old \\ {e}.  It stays exact in
+    G_new \\ {e} iff every applied mutation is provably non-affecting
+    on that graph:
+
+    * a mutation of the avoided edge e itself — always safe (e is
+      excluded either way);
+    * removing / raising edge (u, v) — safe iff the edge was not
+      *tight* (``dist[u] + w_old != dist[v]``): a non-tight edge lies
+      on no shortest path, so losing it changes nothing;
+    * adding / lowering (u, v) to w — safe iff non-improving
+      (``dist[u] + w >= dist[v]``);
+    * either way, an unreachable tail (``dist[u] >= INF``) makes the
+      edge unusable from s, hence harmless.
+
+    Removals compose (deleting non-tight edges never creates new
+    tight ones under unchanged distances) and individually
+    non-improving additions cannot combine to improve, so checking
+    each mutation against the *old* vector is sound for the batch.
+    """
+    for m in mutations:
+        u, v = m.edge
+        if dist[u] >= INF:
+            continue
+        if m.kind == MUT_FAIL:
+            if dist[u] + m.old_weight == dist[v]:
+                return False
+        elif m.kind == MUT_HEAL:
+            if dist[u] + m.weight < dist[v]:
+                return False
+        elif m.kind == MUT_WEIGHT:
+            if (dist[u] + m.old_weight == dist[v]
+                    or dist[u] + m.weight < dist[v]):
+                return False
+        else:  # unknown kind: never carry across it
+            return False
+    return True
+
+
+def carry_fallback_memo(old: ReplacementPathOracle,
+                        new: ReplacementPathOracle,
+                        mutations) -> Tuple[int, int]:
+    """Carry provably-unaffected fallback rows across an epoch.
+
+    ``mutations`` is the full :class:`~repro.dynamic.stream.
+    AppliedMutation` sequence separating ``old``'s epoch from
+    ``new``'s (possibly several batches, concatenated in order).
+    Each surviving row is seeded into ``new`` verbatim — distances
+    are unique, so a carried row is bit-identical to what a fresh
+    fallback SSSP would produce.  Returns ``(kept, dropped)``.
+    """
+    kept = dropped = 0
+    for (s, edge), dist in old._fallback.items():
+        relevant = [m for m in mutations if m.edge != edge]
+        if _row_survives(dist, relevant):
+            new.seed_fallback(s, edge, dist)
+            kept += 1
+        else:
+            dropped += 1
+    if kept:
+        record_invalidation(SCOPE_MEMO_KEPT, kept)
+    if dropped:
+        record_invalidation(SCOPE_MEMO_DROPPED, dropped)
+    return kept, dropped
 
 
 def centralized_truth(instance: RPathsInstance, s: int, t: int,

@@ -30,17 +30,25 @@ out over worker processes through the runtime executor's
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
+from ..dynamic.stream import (
+    AppliedMutation,
+    Mutation,
+    MutationResult,
+    apply_mutations,
+)
 from ..graphs.instance import RPathsInstance
 from ..runtime.executor import default_jobs, pool_map
 from ..telemetry import counters as _counters
+from ..telemetry.dynamic import SCOPE_ORACLE, record_invalidation
 from ..runtime.results import CellResult, CellSpec
 from ..runtime.store import ResultStore, cell_key
-from .oracle import ReplacementPathOracle
+from .oracle import ReplacementPathOracle, carry_fallback_memo
 from .planner import DEFAULT_MAX_GROUP, BatchPlanner
 from .queries import Query, QueryAnswer, hit_ratio
 
@@ -54,10 +62,21 @@ def shard_of(key: str, shards: int) -> int:
     return int.from_bytes(digest[:8], "big") % shards
 
 
-def spill_key(instance_key: str, solver: str) -> str:
-    """Content address of one oracle snapshot (code-versioned)."""
-    return cell_key(CellSpec.make(
-        SPILL_SCENARIO, {"instance": instance_key, "solver": solver}, 0))
+def spill_key(instance_key: str, solver: str,
+              topology_version: int = 0) -> str:
+    """Content address of one oracle snapshot.
+
+    Keyed by (instance, solver, topology version, code version): a
+    mutation bumps the epoch, so a pre-mutation snapshot sits under a
+    different key and can never resurrect into the new epoch.  Old
+    epochs' spills stay on disk until ``repro store gc`` prunes them.
+    """
+    params: Dict[str, object] = {"instance": instance_key,
+                                 "solver": solver}
+    if topology_version:
+        # Epoch 0 omits the param so pre-dynamic spills stay valid.
+        params["topology_version"] = topology_version
+    return cell_key(CellSpec.make(SPILL_SCENARIO, params, 0))
 
 
 @dataclass
@@ -74,6 +93,9 @@ class ShardStats:
     batch_solves: int = 0
     solves_saved: int = 0
     rounds: int = 0
+    invalidations: int = 0
+    stale_answers: int = 0
+    memo_carried: int = 0
 
     def as_metrics(self) -> Dict[str, int]:
         return {
@@ -86,6 +108,9 @@ class ShardStats:
             "batch_solves": self.batch_solves,
             "solves_saved": self.solves_saved,
             "rounds": self.rounds,
+            "invalidations": self.invalidations,
+            "stale_answers": self.stale_answers,
+            "memo_carried": self.memo_carried,
         }
 
     def merge(self, other: "ShardStats") -> None:
@@ -98,6 +123,9 @@ class ShardStats:
         self.batch_solves += other.batch_solves
         self.solves_saved += other.solves_saved
         self.rounds += other.rounds
+        self.invalidations += other.invalidations
+        self.stale_answers += other.stale_answers
+        self.memo_carried += other.memo_carried
 
 
 class OracleShard:
@@ -121,6 +149,16 @@ class OracleShard:
         self.build_seed = build_seed
         self.instances: Dict[str, RPathsInstance] = {}
         self._planners: "OrderedDict[str, BatchPlanner]" = OrderedDict()
+        #: key -> (epoch, planner) rotated out by :meth:`invalidate`;
+        #: serves degraded-mode answers until the fresh oracle exists.
+        self._previous: Dict[str, Tuple[int, BatchPlanner]] = {}
+        #: key -> mutations applied since the previous-epoch oracle was
+        #: built (possibly several batches) — the memo-carry input.
+        self._pending_carry: Dict[str, List[AppliedMutation]] = {}
+        #: Guards the dicts above: the daemon worker's background
+        #: rebuild thread races its serving loop.  Oracle builds run
+        #: *outside* the lock so stale serving is never blocked.
+        self._lock = threading.Lock()
         self.stats = ShardStats(shard_id=shard_id)
 
     # -- catalog -------------------------------------------------------------
@@ -142,7 +180,8 @@ class OracleShard:
                       ) -> Optional[ReplacementPathOracle]:
         if self.store is None:
             return None
-        cached = self.store.get(spill_key(key, self.solver))
+        cached = self.store.get(spill_key(
+            key, self.solver, instance.topology_version))
         if cached is None:
             return None
         oracle = ReplacementPathOracle.from_snapshot(
@@ -155,11 +194,16 @@ class OracleShard:
     def _spill(self, key: str, oracle: ReplacementPathOracle) -> None:
         if self.store is None:
             return
+        version = oracle.instance.topology_version
+        params: Dict[str, object] = {"instance": key,
+                                     "solver": self.solver}
+        if version:
+            params["topology_version"] = version
         result = CellResult(
             scenario=SPILL_SCENARIO,
-            params={"instance": key, "solver": self.solver},
+            params=params,
             seed=0,
-            key=spill_key(key, self.solver),
+            key=spill_key(key, self.solver, version),
             metrics=oracle.snapshot(),
         )
         self.store.put(result)
@@ -167,39 +211,146 @@ class OracleShard:
         _counters.registry.inc("repro_serve_spill_total", op="save")
 
     def planner_for(self, key: str) -> BatchPlanner:
-        """The hot planner for ``key`` (LRU → spill → build)."""
-        planner = self._planners.get(key)
-        if planner is not None:
-            self._planners.move_to_end(key)
-            self.stats.lru_hits += 1
-            _counters.registry.inc("repro_serve_lru_total",
-                                   outcome="hit")
+        """The hot planner for ``key`` (LRU → spill → build).
+
+        A build after :meth:`invalidate` additionally carries the
+        previous epoch's fallback memo: rows the applied mutations
+        provably did not affect are seeded into the fresh oracle, and
+        the previous-epoch planner is then retired.
+        """
+        while True:
+            with self._lock:
+                planner = self._planners.get(key)
+                if planner is not None:
+                    self._planners.move_to_end(key)
+                    self.stats.lru_hits += 1
+                    _counters.registry.inc("repro_serve_lru_total",
+                                           outcome="hit")
+                    return planner
+                _counters.registry.inc("repro_serve_lru_total",
+                                       outcome="miss")
+                try:
+                    instance = self.instances[key]
+                except KeyError:
+                    known = (", ".join(sorted(self.instances))
+                             or "<none>")
+                    raise KeyError(
+                        f"shard {self.shard_id} does not hold "
+                        f"{key!r}; instances: {known}") from None
+            # Build (or restore) outside the lock: degraded-mode reads
+            # of the previous-epoch planner must not wait on a solve.
+            oracle = self._load_spilled(key, instance)
+            if oracle is None:
+                oracle = ReplacementPathOracle.build(
+                    instance, solver=self.solver,
+                    seed=self.build_seed, fabric=self.build_fabric)
+                self.stats.oracle_builds += 1
+                self.stats.rounds += oracle.build_rounds
+                # Spill at build time: the snapshot is immutable, so
+                # the later eviction is free and crash-safe.
+                self._spill(key, oracle)
+            planner = BatchPlanner(oracle, fabric=self.planner_fabric,
+                                   max_group=self.max_group)
+            with self._lock:
+                if self.instances.get(key) is not instance:
+                    continue  # superseded mid-build: solve the newer
+                raced = self._planners.get(key)
+                if raced is not None:
+                    # Another thread built it first; keep theirs.
+                    return raced
+                previous = self._previous.pop(key, None)
+                carry = self._pending_carry.pop(key, None)
+                if previous is not None and carry is not None:
+                    kept, _dropped = carry_fallback_memo(
+                        previous[1].oracle, oracle, carry)
+                    self.stats.memo_carried += kept
+                self._planners[key] = planner
+                while len(self._planners) > self.capacity:
+                    self._planners.popitem(last=False)
+                    self.stats.evictions += 1
+                    _counters.registry.inc(
+                        "repro_serve_evictions_total")
             return planner
-        _counters.registry.inc("repro_serve_lru_total", outcome="miss")
-        try:
-            instance = self.instances[key]
-        except KeyError:
-            known = ", ".join(sorted(self.instances)) or "<none>"
+
+    # -- dynamic topology ----------------------------------------------------
+
+    def invalidate(self, key: str, new_instance: RPathsInstance,
+                   applied: Sequence[AppliedMutation]) -> None:
+        """Install a new-epoch instance, rotating the hot oracle out.
+
+        Only this instance is touched: the hot planner (if any) moves
+        to the previous-epoch slot for degraded-mode serving, the
+        applied mutations accumulate for the memo carry, and the next
+        :meth:`planner_for` miss rebuilds against the new topology.
+        Other instances' oracles are untouched — that asymmetry is the
+        whole point of incremental invalidation.
+        """
+        if key not in self.instances:
             raise KeyError(f"shard {self.shard_id} does not hold "
-                           f"{key!r}; instances: {known}") from None
-        oracle = self._load_spilled(key, instance)
-        if oracle is None:
-            oracle = ReplacementPathOracle.build(
-                instance, solver=self.solver, seed=self.build_seed,
-                fabric=self.build_fabric)
-            self.stats.oracle_builds += 1
-            self.stats.rounds += oracle.build_rounds
-            # Spill at build time: the snapshot is immutable, so the
-            # later eviction is free and crash-safe.
-            self._spill(key, oracle)
-        planner = BatchPlanner(oracle, fabric=self.planner_fabric,
-                               max_group=self.max_group)
-        self._planners[key] = planner
-        while len(self._planners) > self.capacity:
-            self._planners.popitem(last=False)
-            self.stats.evictions += 1
-            _counters.registry.inc("repro_serve_evictions_total")
-        return planner
+                           f"{key!r}")
+        if not applied:
+            return
+        with self._lock:
+            old_instance = self.instances[key]
+            self.instances[key] = new_instance
+            hot = self._planners.pop(key, None)
+            if hot is not None:
+                self._previous[key] = (
+                    old_instance.topology_version, hot)
+                self._pending_carry[key] = list(applied)
+            elif key in self._previous:
+                # Already degraded: keep the older previous planner,
+                # extend the carry chain so its memo check spans every
+                # mutation since that epoch.
+                self._pending_carry.setdefault(key, []).extend(applied)
+            self.stats.invalidations += 1
+        record_invalidation(SCOPE_ORACLE)
+
+    def current_epoch(self, key: str) -> int:
+        return self.instances[key].topology_version
+
+    def has_hot(self, key: str) -> bool:
+        with self._lock:
+            return key in self._planners
+
+    def previous_for(self, key: str,
+                     ) -> Optional[Tuple[int, BatchPlanner]]:
+        """The rotated-out (epoch, planner) pair, if still serving."""
+        with self._lock:
+            return self._previous.get(key)
+
+    def answer_stale(self, queries: Sequence[Query],
+                     ) -> Optional[Tuple[List[QueryAnswer], List[int]]]:
+        """Answer from previous-epoch planners (degraded mode).
+
+        Returns ``(answers, lags)`` with one epoch-lag entry per
+        answer, or None when any queried instance has no
+        previous-epoch planner to fall back to.  Never builds.
+        """
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for idx, q in enumerate(queries):
+            groups.setdefault(q.instance, []).append(idx)
+        plan: Dict[str, Tuple[int, BatchPlanner]] = {}
+        for key in groups:
+            prev = self.previous_for(key)
+            if prev is None:
+                return None
+            plan[key] = prev
+        answers: List[Optional[QueryAnswer]] = [None] * len(queries)
+        lags: List[int] = [0] * len(queries)
+        for key, indices in groups.items():
+            epoch, planner = plan[key]
+            lag = self.current_epoch(key) - epoch
+            batch, _report = planner.answer_batch(
+                [queries[i] for i in indices])
+            for i, answer in zip(indices, batch):
+                answers[i] = answer
+                lags[i] = lag
+        self.stats.stale_answers += len(queries)
+        self.stats.queries += len(queries)
+        _counters.registry.inc("repro_serve_queries_total",
+                               len(queries))
+        return ([a for a in answers if a is not None], lags)
 
     def oracle_for(self, key: str) -> ReplacementPathOracle:
         return self.planner_for(key).oracle
@@ -345,6 +496,24 @@ class ShardedQueryService:
                 [Query(s=s, t=t, edge=edge, instance=instance_key)])
         return answer
 
+    # -- dynamic topology ----------------------------------------------------
+
+    def apply_mutations(self, instance_key: str,
+                        mutations: Sequence[Mutation]) -> MutationResult:
+        """Mutate one live instance and invalidate incrementally.
+
+        Applies the batch (epoch bump, P re-derived), then rotates
+        only the owning shard's oracle for this instance — every
+        other oracle in the service keeps serving untouched.
+        """
+        shard = self.shard_for(instance_key)
+        result = apply_mutations(shard.instances[instance_key],
+                                 mutations)
+        if result.applied:
+            shard.invalidate(instance_key, result.instance,
+                             result.applied)
+        return result
+
     # -- observability -------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
@@ -465,7 +634,8 @@ def _portable_instance(instance: RPathsInstance) -> RPathsInstance:
     return RPathsInstance(
         n=instance.n, edges=list(instance.edges),
         path=list(instance.path), weighted=instance.weighted,
-        name=instance.name)
+        name=instance.name,
+        topology_version=instance.topology_version)
 
 
 def _shard_worker(payload: Dict[str, object]):

@@ -20,6 +20,9 @@ shards):
   lifecycle events, admission outcomes, queue-depth / in-flight /
   workers-alive gauges, request-latency summary), closed-enum
   enforced like dispatch and scale.
+* :mod:`~repro.telemetry.dynamic` — dynamic-graph accounting
+  (mutation kinds, skip reasons, invalidation scopes, the epoch-lag
+  gauge), closed-enum enforced like dispatch/scale/serving.
 * :mod:`~repro.telemetry.sink` — append-only JSONL trace files, one
   per process, schema-versioned.
 * :mod:`~repro.telemetry.tooling` — the ``repro trace summary`` /
@@ -59,9 +62,17 @@ from .scale import (  # noqa: F401
     record_shm,
     unknown_scale_labels,
 )
+from .dynamic import (  # noqa: F401
+    record_invalidation,
+    record_mutation,
+    record_skip,
+    set_epoch_lag,
+    unknown_dynamic_labels,
+)
 from .serving import (  # noqa: F401
     record_admission,
     record_daemon_event,
+    record_retry,
     unknown_serving_labels,
 )
 from .sink import (  # noqa: F401

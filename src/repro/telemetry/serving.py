@@ -73,16 +73,40 @@ OUTCOME_ERROR = "error"
 OUTCOME_SHUTDOWN = "shutdown"
 #: The owning worker died and its restart budget was exhausted.
 OUTCOME_WORKER_LOST = "worker-lost"
+#: Answered from a previous-epoch oracle within the request's
+#: ``max_staleness`` budget while the fresh oracle re-warms
+#: (degraded-mode serving; the answer is attached, like ``ok``).
+OUTCOME_STALE = "stale"
 
 KNOWN_ADMISSION_OUTCOMES = frozenset((
     OUTCOME_OK, OUTCOME_OVERLOADED, OUTCOME_TIMEOUT,
     OUTCOME_ERROR, OUTCOME_SHUTDOWN, OUTCOME_WORKER_LOST,
+    OUTCOME_STALE,
 ))
+
+#: Outcomes that carry an answer a client can use.
+SERVED_OUTCOMES = frozenset((OUTCOME_OK, OUTCOME_STALE))
 
 
 def record_admission(outcome: str) -> None:
     """Count one front-end request by its final outcome."""
     registry.inc(ADMISSION_COUNTER, outcome=outcome)
+
+
+# -- client retries -----------------------------------------------------------
+
+#: One event per retry the bounded-backoff client helper performed,
+#: labeled by the outcome that triggered it (only transient outcomes
+#: are ever retried, so the enum is that subset).
+RETRY_COUNTER = "repro_serve_retries_total"
+
+RETRYABLE_OUTCOMES = frozenset((OUTCOME_OVERLOADED,
+                                OUTCOME_WORKER_LOST))
+
+
+def record_retry(outcome: str) -> None:
+    """Count one client retry by the outcome that triggered it."""
+    registry.inc(RETRY_COUNTER, outcome=outcome)
 
 
 # -- gauges + latency summary -------------------------------------------------
@@ -120,6 +144,7 @@ def observe_request_seconds(seconds: float) -> None:
 _ENUMS: Dict[str, Dict[str, frozenset]] = {
     DAEMON_COUNTER: {"event": KNOWN_DAEMON_EVENTS},
     ADMISSION_COUNTER: {"outcome": KNOWN_ADMISSION_OUTCOMES},
+    RETRY_COUNTER: {"outcome": RETRYABLE_OUTCOMES},
 }
 
 

@@ -33,6 +33,16 @@ from repro.serve import (
 )
 from repro.telemetry import serving
 
+# Timing knobs shared by every test.  A loaded CI runner stretches the
+# *deadlines* (generous waits, long heartbeat grace) while keeping the
+# *polling* tight, so slowness costs latency instead of flakes: the
+# monitor still reacts in ~50ms on a healthy box, but a worker that
+# takes seconds to respawn under load is never declared failed early.
+WAIT_TIMEOUT = 30.0
+MONITOR_INTERVAL = 0.05
+HEARTBEAT_TIMEOUT = 10.0
+QUERY_TIMEOUT = 60.0
+
 
 def _instances(count=3, n=20):
     return [random_instance(n, seed=s, name=f"daemon-test-{s}")
@@ -42,10 +52,12 @@ def _instances(count=3, n=20):
 def _daemon(insts, **kw):
     kw.setdefault("solver", "centralized")
     kw.setdefault("workers", min(2, len(insts)))
+    kw.setdefault("monitor_interval", MONITOR_INTERVAL)
+    kw.setdefault("heartbeat_timeout", HEARTBEAT_TIMEOUT)
     return ServeDaemon(insts, **kw)
 
 
-def _wait_until(predicate, timeout=10.0, interval=0.02):
+def _wait_until(predicate, timeout=WAIT_TIMEOUT, interval=0.02):
     deadline = time.time() + timeout
     while time.time() < deadline:
         if predicate():
@@ -64,7 +76,7 @@ class TestLifecycle:
             for inst in insts:
                 edge = inst.path_edges()[0]
                 answer = daemon.query(inst.name, inst.s, inst.t, edge,
-                                      timeout=30)
+                                      timeout=QUERY_TIMEOUT)
                 direct = ShardedQueryService(
                     [inst], solver="centralized").query(
                         inst.name, inst.s, inst.t, edge)
@@ -81,7 +93,7 @@ class TestLifecycle:
         with _daemon(insts) as daemon:
             edge = insts[0].path_edges()[0]
             daemon.query(insts[0].name, insts[0].s, insts[0].t, edge,
-                         timeout=30)
+                         timeout=QUERY_TIMEOUT)
         # __exit__ already stopped it; stop() again is a no-op.
         stats = daemon.stop()
         assert stats["totals"]["queries"] == 1
@@ -94,7 +106,7 @@ class TestLifecycle:
             edge = insts[0].path_edges()[0]
             for _ in range(5):
                 daemon.query(insts[0].name, insts[0].s, insts[0].t,
-                             edge, timeout=30)
+                             edge, timeout=QUERY_TIMEOUT)
             stats = daemon.stats()
         finally:
             daemon.stop()
@@ -119,7 +131,7 @@ class TestLifecycle:
             daemon.start()
             edge = insts[0].path_edges()[0]
             daemon.query(insts[0].name, insts[0].s, insts[0].t, edge,
-                         timeout=30)
+                         timeout=QUERY_TIMEOUT)
             text = daemon.exposition()
         finally:
             daemon.stop()
@@ -132,7 +144,7 @@ class TestHealth:
         insts = _instances(2)
         store = ResultStore(tmp_path)
         daemon = _daemon(insts, workers=1, store=store,
-                         monitor_interval=0.05, max_restarts=2)
+                         max_restarts=2)
         try:
             daemon.start()
             worker = daemon._workers[0]
@@ -140,7 +152,7 @@ class TestHealth:
             first_pid = worker.pid
             edge = insts[0].path_edges()[0]
             before = daemon.query(insts[0].name, insts[0].s,
-                                  insts[0].t, edge, timeout=30)
+                                  insts[0].t, edge, timeout=QUERY_TIMEOUT)
 
             os.kill(first_pid, signal.SIGKILL)
             assert _wait_until(lambda: worker.restarts == 1)
@@ -152,7 +164,7 @@ class TestHealth:
             assert worker.warm_stats["oracle_builds"] == 0
 
             after = daemon.query(insts[0].name, insts[0].s,
-                                 insts[0].t, edge, timeout=30)
+                                 insts[0].t, edge, timeout=QUERY_TIMEOUT)
             assert after.length == before.length
         finally:
             stats = daemon.stop()
@@ -160,24 +172,24 @@ class TestHealth:
 
     def test_query_submitted_while_dead_is_resubmitted(self):
         insts = _instances(1)
-        daemon = _daemon(insts, workers=1, monitor_interval=0.05)
+        daemon = _daemon(insts, workers=1)
         try:
             daemon.start()
             edge = insts[0].path_edges()[0]
             truth = daemon.query(insts[0].name, insts[0].s,
-                                 insts[0].t, edge, timeout=30)
+                                 insts[0].t, edge, timeout=QUERY_TIMEOUT)
             os.kill(daemon._workers[0].pid, signal.SIGKILL)
             # Submitted against the dead worker's queue; the monitor
             # must detect, respawn, and re-enqueue it.
             answer = daemon.query(insts[0].name, insts[0].s,
-                                  insts[0].t, edge, timeout=30)
+                                  insts[0].t, edge, timeout=QUERY_TIMEOUT)
             assert answer.length == truth.length
         finally:
             daemon.stop()
 
     def test_restart_budget_exhaustion_fails_pending_as_worker_lost(self):
         insts = _instances(1)
-        daemon = _daemon(insts, workers=1, monitor_interval=0.05,
+        daemon = _daemon(insts, workers=1,
                          max_restarts=0)
         try:
             daemon.start()
@@ -189,7 +201,8 @@ class TestHealth:
                 [Query(s=insts[0].s, t=insts[0].t,
                        edge=insts[0].path_edges()[0],
                        instance=insts[0].name)],
-                lambda lengths, kinds, error: outcomes.append(error))
+                lambda lengths, kinds, lags, error:
+                outcomes.append(error))
             assert outcomes == ["worker-lost"]
         finally:
             daemon.stop()
@@ -361,6 +374,131 @@ class TestLoadgen:
         # Open loop is paced: 10 queries at 200/s cannot finish
         # faster than the schedule allows.
         assert report.wall_seconds >= 9 / 200.0
+
+
+class TestDynamicEpochs:
+    """Live mutations against a running daemon (ISSUE 10)."""
+
+    def _mutate(self, daemon, name, seed=2, count=4):
+        from repro.dynamic import MutationStream
+        stream = MutationStream(seed=seed)
+        current = daemon.instance_for(name)
+        result = daemon.apply_mutations(name,
+                                        stream.burst(current, count))
+        assert result.applied, "burst applied nothing"
+        return result
+
+    def test_mutation_bumps_epoch_and_fresh_answers_track_it(self):
+        insts = _instances(1, n=16)
+        daemon = _daemon(insts, workers=1)
+        try:
+            daemon.start()
+            name = insts[0].name
+            daemon.query(name, insts[0].s, insts[0].t,
+                         insts[0].path_edges()[0],
+                         timeout=QUERY_TIMEOUT)
+            result = self._mutate(daemon, name)
+            assert daemon.epoch_of(name) == result.epoch == 1
+            new = daemon.instance_for(name)
+            edge = new.path_edges()[0]
+            answer = daemon.query(name, new.s, new.t, edge,
+                                  timeout=QUERY_TIMEOUT)
+            from repro.serve import centralized_truth
+            assert answer.length == centralized_truth(
+                new, new.s, new.t, edge)
+            assert daemon.stats()["epochs"][name] == 1
+        finally:
+            daemon.stop()
+
+    def test_stale_budget_serves_previous_epoch_during_rewarm(self):
+        insts = _instances(1, n=16)
+        # rebuild_delay wedges the re-warm long enough that a budgeted
+        # query MUST take the stale path to answer quickly.
+        daemon = _daemon(insts, workers=1, rebuild_delay=1.0)
+        try:
+            daemon.start()
+            name = insts[0].name
+            old = insts[0]
+            old_edge = old.path_edges()[0]
+            before = daemon.query(name, old.s, old.t, old_edge,
+                                  timeout=QUERY_TIMEOUT)
+            self._mutate(daemon, name)
+            frontend = ServeFrontend(daemon,
+                                     default_timeout=QUERY_TIMEOUT)
+            try:
+                start = time.time()
+                res = frontend.query(name, old.s, old.t, old_edge,
+                                     max_staleness=4)
+                elapsed = time.time() - start
+                assert res.outcome == serving.OUTCOME_STALE
+                assert res.lag == 1
+                assert res.served
+                # Previous-epoch oracle, previous-epoch answer — and
+                # without waiting out the rebuild delay.
+                assert res.answer.length == before.length
+                assert elapsed < 1.0
+                # Zero budget waits for the re-warm and gets fresh.
+                new = daemon.instance_for(name)
+                edge = new.path_edges()[0]
+                fresh = frontend.query(name, new.s, new.t, edge,
+                                       max_staleness=0)
+                assert fresh.outcome == serving.OUTCOME_OK
+                assert fresh.lag == 0
+                from repro.serve import centralized_truth
+                assert fresh.answer.length == centralized_truth(
+                    new, new.s, new.t, edge)
+            finally:
+                frontend.close()
+        finally:
+            daemon.stop()
+
+    def test_restart_races_concurrent_invalidation(self):
+        """Satellite: a worker killed right after an invalidation must
+        re-warm against the NEW epoch (stale topology handles are
+        stripped), resubmit pending requests exactly once, and answer
+        them bit-identically to the new epoch's truth."""
+        from repro.serve import centralized_truth
+        insts = _instances(1, n=16)
+        daemon = _daemon(insts, workers=1, max_restarts=2)
+        try:
+            daemon.start()
+            name = insts[0].name
+            daemon.query(name, insts[0].s, insts[0].t,
+                         insts[0].path_edges()[0],
+                         timeout=QUERY_TIMEOUT)
+            self._mutate(daemon, name)
+            worker = daemon._workers[0]
+            first_pid = worker.pid
+            new = daemon.instance_for(name)
+            edge = new.path_edges()[0]
+
+            os.kill(first_pid, signal.SIGKILL)
+            # Submitted while (possibly) dead: the monitor respawns,
+            # the replacement warms from the daemon's current catalog
+            # (epoch 1, not the pre-mutation shared topology), and the
+            # pending request is resubmitted against it.
+            calls = []
+            daemon.submit_batch(
+                [Query(s=new.s, t=new.t, edge=edge, instance=name)],
+                lambda lengths, kinds, lags, error:
+                calls.append((lengths, error)))
+            assert _wait_until(lambda: len(calls) >= 1)
+            lengths, error = calls[0]
+            assert error == ""
+            assert lengths[0] == centralized_truth(new, new.s, new.t,
+                                                   edge)
+            assert _wait_until(lambda: worker.restarts == 1)
+            # Resubmission is not duplication: exactly one callback.
+            time.sleep(3 * MONITOR_INTERVAL)
+            assert len(calls) == 1
+            # A fresh post-restart query also tracks the new epoch.
+            answer = daemon.query(name, new.s, new.t, edge,
+                                  timeout=QUERY_TIMEOUT)
+            assert answer.length == centralized_truth(new, new.s,
+                                                      new.t, edge)
+        finally:
+            stats = daemon.stop()
+        assert stats["epochs"][name] == 1
 
 
 class TestTelemetry:
